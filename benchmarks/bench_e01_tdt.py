@@ -1,0 +1,44 @@
+"""E01 bench: Table 1 reproduction + TDT primitive micro-benchmarks."""
+
+from repro.hw.tdt import Permission, TdtCache, ThreadDescriptorTable
+from repro.mem.memory import Memory
+
+
+def test_e01_table1(run_experiment):
+    result = run_experiment("E01")
+    assert result.series("all_match") is True
+
+
+def test_bench_tdt_cached_lookup(benchmark):
+    """Hot-path vtid->ptid translation through the core's TDT cache."""
+    memory = Memory()
+    region = memory.alloc("tdt", 1024)
+    table = ThreadDescriptorTable(memory, region.base, capacity=64)
+    for vtid in range(64):
+        table.set_entry(vtid, vtid, Permission.ALL)
+    cache = TdtCache()
+    cache.lookup(memory, region.base, 7)  # warm
+
+    def lookup():
+        entry, _cycles = cache.lookup(memory, region.base, 7)
+        return entry
+
+    entry = benchmark(lookup)
+    assert entry.ptid == 7
+
+
+def test_bench_tdt_miss_walk(benchmark):
+    """Cold lookup: a walk of the memory-resident table after invtid."""
+    memory = Memory()
+    region = memory.alloc("tdt", 1024)
+    table = ThreadDescriptorTable(memory, region.base, capacity=64)
+    table.set_entry(3, 9, Permission.ALL)
+    cache = TdtCache()
+
+    def miss():
+        cache.invalidate(region.base, 3)
+        entry, cycles = cache.lookup(memory, region.base, 3)
+        return cycles
+
+    cycles = benchmark(miss)
+    assert cycles == cache.costs.tdt_miss_cycles

@@ -1,0 +1,38 @@
+"""E02 bench: interrupt elimination + watch-bus micro-benchmarks."""
+
+from repro.mem.memory import Memory
+
+
+def test_e02_interrupts(run_experiment):
+    result = run_experiment("E02")
+    assert result.data["speedup"] > 10
+
+
+def test_bench_watch_notify_hit(benchmark):
+    """One store hitting an armed watch (the mwait wakeup trigger)."""
+    memory = Memory()
+    word = memory.alloc("evt", 8)
+    fired = []
+
+    def rearm(info):
+        fired.append(info)
+
+    memory.watch_bus.subscribe(word.base, rearm)
+
+    def store():
+        memory.store(word.base, 1, source="dev")
+
+    benchmark(store)
+    assert fired
+
+
+def test_bench_watch_notify_miss(benchmark):
+    """Store with no watcher: the common case must stay cheap."""
+    memory = Memory()
+    word = memory.alloc("cold", 8)
+
+    def store():
+        memory.store(word.base, 1)
+
+    benchmark(store)
+    assert memory.watch_bus.total_triggers == 0

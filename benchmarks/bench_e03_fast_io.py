@@ -1,0 +1,50 @@
+"""E03 bench: the I/O triangle + NIC RX-path micro-benchmark."""
+
+from repro.devices import Nic
+from repro.machine import build_machine
+from repro.workloads import DeterministicArrivals
+
+
+def test_e03_fast_io(run_experiment):
+    result = run_experiment("E03", rounds=1)
+    series = result.series("series")
+    for load in result.series("loads"):
+        assert series["interrupt"][load]["mean"] \
+            > series["mwait"][load]["mean"]
+
+
+def test_bench_nic_rx_packet(benchmark):
+    """Simulated cost of one full RX delivery: DMA, descriptor, tail."""
+
+    def deliver_batch():
+        machine = build_machine()
+        nic = Nic(machine.engine, machine.memory, machine.dma)
+        nic.start_rx(DeterministicArrivals(1_000),
+                     machine.rngs.stream("rx"), max_packets=50)
+        machine.run(until=1_000_000)
+        return nic
+
+    nic = benchmark(deliver_batch)
+    assert nic.packets_delivered == 50
+
+
+def test_bench_ring_consume(benchmark):
+    """Software-side ring pop (head load, descriptor load, head store)."""
+    machine = build_machine()
+    nic = Nic(machine.engine, machine.memory, machine.dma)
+    nic.start_rx(DeterministicArrivals(100),
+                 machine.rngs.stream("rx"), max_packets=200)
+    machine.run(until=1_000_000)
+
+    state = {"left": nic.rx.pending()}
+
+    def consume():
+        pkt = nic.rx.consume()
+        if pkt is None:
+            # refill by rewinding the head (bench loops many times)
+            machine.memory.store(nic.rx.head_addr, 0)
+            pkt = nic.rx.consume()
+        return pkt
+
+    pkt = benchmark(consume)
+    assert pkt is not None

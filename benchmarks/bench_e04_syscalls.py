@@ -1,0 +1,32 @@
+"""E04 bench: syscall paths + per-path call micro-benchmarks."""
+
+from repro.arch.costs import CostModel
+from repro.kernel import HwThreadSyscallPath, SyncSyscallPath, SyscallRunner
+from repro.sim.engine import Engine
+
+
+def test_e04_syscalls(run_experiment):
+    result = run_experiment("E04")
+    series = result.series("series")
+    for work in series["hw-thread"]:
+        assert series["hw-thread"][work]["p50"] < series["sync"][work]["p50"]
+
+
+def _run_calls(path_cls, calls=200):
+    engine = Engine()
+    path = path_cls(engine, CostModel())
+    runner = SyscallRunner(engine, path, calls, user_work_cycles=100,
+                           kernel_work_cycles=200)
+    engine.run()
+    return runner
+
+
+def test_bench_sync_syscall_batch(benchmark):
+    runner = benchmark(_run_calls, SyncSyscallPath)
+    assert runner.recorder.count == 200
+
+
+def test_bench_hw_thread_syscall_batch(benchmark):
+    runner = benchmark(_run_calls, HwThreadSyscallPath)
+    assert runner.recorder.count == 200
+    assert runner.overhead_fraction() < 0.2

@@ -1,0 +1,31 @@
+"""E05 bench: VM-exit designs + guest-run micro-benchmark."""
+
+from repro.arch.costs import CostModel
+from repro.hypervisor import GuestVm, HwThreadExitPath, InThreadExitPath
+from repro.sim.engine import Engine
+
+
+def test_e05_vmexits(run_experiment):
+    result = run_experiment("E05")
+    series = result.series("series")
+    for interval in series["hw-thread"]:
+        assert (series["hw-thread"][interval]["slowdown"]
+                <= series["in-thread"][interval]["slowdown"])
+
+
+def _run_guest(path_cls):
+    engine = Engine()
+    guest = GuestVm(engine, path_cls(engine, CostModel()),
+                    total_work_cycles=500_000, exit_interval_cycles=5_000)
+    engine.run()
+    return guest
+
+
+def test_bench_guest_in_thread_exits(benchmark):
+    guest = benchmark(_run_guest, InThreadExitPath)
+    assert guest.slowdown() > 1.2
+
+
+def test_bench_guest_hw_thread_exits(benchmark):
+    guest = benchmark(_run_guest, HwThreadExitPath)
+    assert guest.slowdown() < 1.2

@@ -1,0 +1,40 @@
+"""E06 bench: kernel FP use + architectural-state micro-benchmarks."""
+
+from repro.arch.state import ArchState
+
+
+def test_e06_fp_registers(run_experiment):
+    result = run_experiment("E06")
+    cells = result.series("cells")
+    assert cells["hw-thread"]["fp"] == cells["hw-thread"]["base"]
+
+
+def test_bench_state_snapshot_base(benchmark):
+    """Snapshotting 272 B of integer state (the baseline switch body)."""
+    state = ArchState()
+    state.write("r1", 42)
+    snap = benchmark(state.snapshot)
+    assert snap["r1"] == 42
+
+
+def test_bench_state_snapshot_with_vector(benchmark):
+    """Snapshotting 784 B once vector registers are dirty."""
+    state = ArchState()
+    state.write("v0", 7)  # dirties the vector file
+    assert state.vector_dirty
+    snap = benchmark(state.snapshot)
+    assert snap["v0"] == 7
+
+
+def test_bench_state_restore(benchmark):
+    state = ArchState()
+    state.write("r3", 9)
+    snap = state.snapshot()
+    other = ArchState()
+
+    def restore():
+        other.load_snapshot(snap)
+        return other
+
+    restored = benchmark(restore)
+    assert restored.read("r3") == 9

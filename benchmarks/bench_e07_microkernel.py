@@ -1,0 +1,37 @@
+"""E07 bench: microkernel IPC + ping-pong micro-benchmarks."""
+
+from repro.arch.costs import CostModel
+from repro.microkernel import DirectStartIpc, SchedulerIpc
+from repro.sim.engine import Engine
+
+
+def test_e07_microkernel(run_experiment):
+    result = run_experiment("E07")
+    rtt = result.series("rtt")
+    assert rtt["direct-start"] < rtt["scheduler"]
+
+
+def _ping_pong(ipc_cls, calls=100):
+    engine = Engine()
+    ipc = ipc_cls(engine, CostModel())
+    done = []
+
+    def client():
+        for _ in range(calls):
+            yield from ipc.call(200)
+        done.append(engine.now)
+
+    engine.spawn(client())
+    engine.run()
+    return done[0]
+
+
+def test_bench_scheduler_ipc_pingpong(benchmark):
+    wall = benchmark(_ping_pong, SchedulerIpc)
+    assert wall > 100 * SchedulerIpc(Engine(), CostModel()).rtt_cycles(0)
+
+
+def test_bench_direct_start_pingpong(benchmark):
+    wall = benchmark(_ping_pong, DirectStartIpc)
+    # 100 calls of (47 + 200 + queue dispatch) cycles
+    assert wall < 100 * 1_000

@@ -1,0 +1,23 @@
+"""E08 bench: untrusted hypervisor + ISA-machine micro-benchmark."""
+
+from repro.hypervisor import UntrustedHypervisorDemo
+
+
+def test_e08_untrusted_hv(run_experiment):
+    result = run_experiment("E08", rounds=1)
+    outcome = result.series("outcome")
+    assert outcome.hv_ran_privileged is False
+
+
+def test_bench_exit_roundtrip_isa(benchmark):
+    """Full ISA-level exit: privop fault -> descriptor -> user-mode
+    hypervisor handles -> guest restart."""
+
+    def one_run():
+        demo = UntrustedHypervisorDemo(iterations=5,
+                                       guest_work_cycles=500,
+                                       handler_work_cycles=100)
+        return demo.run()
+
+    outcome = benchmark(one_run)
+    assert outcome.exits_handled == 5

@@ -1,0 +1,36 @@
+"""E09 bench: RPC server designs + per-design workload micro-benchmarks."""
+
+from repro.arch.costs import CostModel
+from repro.distributed import HW_THREADS, SW_THREADS, RpcServerModel, RpcWorkload
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads import Exponential, PoissonArrivals
+
+
+def test_e09_distributed(run_experiment):
+    result = run_experiment("E09", rounds=1)
+    series = result.series("load_series")
+    top = max(series["hw-threads"])
+    assert (series["sw-threads"][top]["p99"]
+            >= series["hw-threads"][top]["p99"])
+
+
+def _run_server(design, requests=150):
+    engine = Engine()
+    server = RpcServerModel(engine, design, CostModel())
+    RpcWorkload(engine, server, PoissonArrivals(8_000), Exponential(4_000),
+                RngStreams(7).stream("bench"), segments=3,
+                rtt_cycles=10_000, max_requests=requests)
+    engine.run()
+    return server
+
+
+def test_bench_hw_thread_server(benchmark):
+    server = benchmark(_run_server, HW_THREADS)
+    assert server.completed == 150
+
+
+def test_bench_sw_thread_server(benchmark):
+    server = benchmark(_run_server, SW_THREADS)
+    assert server.completed == 150
+    assert server.cpu_busy_cycles() > _run_server(HW_THREADS).cpu_busy_cycles()

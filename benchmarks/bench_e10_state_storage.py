@@ -1,0 +1,38 @@
+"""E10 bench: storage arithmetic + ThreadStateStore micro-benchmarks."""
+
+from repro.hw.storage import ThreadStateStore
+
+
+def test_e10_state_storage(run_experiment):
+    result = run_experiment("E10")
+    assert result.series("rf_full") == 83
+
+
+def test_bench_store_registration(benchmark):
+    """Registering 512 contexts across the three tiers."""
+
+    def fill():
+        store = ThreadStateStore(rf_bytes=64 * 1024, l2_slots=48)
+        for ptid in range(512):
+            store.register(ptid)
+        return store
+
+    store = benchmark(fill)
+    assert sum(store.occupancy().values()) == 512
+
+
+def test_bench_promote_evict_cycle(benchmark):
+    """start_latency on a spilled context: promote + LRU evict."""
+    store = ThreadStateStore(rf_bytes=2 * 1024, l2_slots=8)
+    for ptid in range(16):
+        store.register(ptid)
+    everyone = list(range(16))
+    state = {"next": 2}
+
+    def churn():
+        victim = state["next"]
+        state["next"] = (victim + 1) % 16
+        return store.start_latency(victim, evictable=everyone)
+
+    latency = benchmark(churn)
+    assert latency > 0

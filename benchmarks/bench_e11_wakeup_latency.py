@@ -1,0 +1,52 @@
+"""E11 bench: wakeup tiers + ISA mwait-wakeup micro-benchmark."""
+
+from repro.machine import build_machine
+
+
+def test_e11_wakeup_latency(run_experiment):
+    result = run_experiment("E11")
+    measured = result.series("measured")
+    assert measured["rf"] < measured["l3"]
+
+
+def test_bench_isa_mwait_wakeup(benchmark):
+    """Full ISA machine: arm monitor, block, external write, respond."""
+
+    def one_wakeup():
+        machine = build_machine()
+        flag = machine.alloc("flag", 64)
+        resp = machine.alloc("resp", 64)
+        machine.load_asm(0, """
+            movi r1, FLAG
+            monitor r1
+            mwait
+            movi r2, RESP
+            movi r3, 1
+            st r2, 0, r3
+            halt
+        """, symbols={"FLAG": flag.base, "RESP": resp.base},
+            supervisor=True)
+        machine.boot(0)
+        machine.run(max_events=100)
+        machine.engine.at(machine.engine.now + 50,
+                          machine.memory.store, flag.base, 1, "dev")
+        machine.run(until=machine.engine.now + 10_000)
+        return machine.memory.load(resp.base)
+
+    responded = benchmark(one_wakeup)
+    assert responded == 1
+
+
+def test_bench_start_stop_pair(benchmark):
+    """api_start + api_stop of a ptid (the scheduler's new hot loop)."""
+    machine = build_machine()
+    machine.load_asm(1, "halt", supervisor=False)
+    core = machine.core(0)
+
+    def start_stop():
+        latency = core.api_start(1)
+        core.api_stop(1)
+        return latency
+
+    latency = benchmark(start_stop)
+    assert latency >= 0

@@ -1,0 +1,48 @@
+"""E12 bench: scheduling disciplines + server micro-benchmarks."""
+
+import random
+
+from repro.kernel import FifoServer, ProcessorSharingServer
+from repro.kernel.sched import feed_trace
+from repro.sim.engine import Engine
+from repro.workloads import (
+    Bimodal,
+    PoissonArrivals,
+    RequestGenerator,
+    gap_for_load,
+)
+
+
+def test_e12_scheduling(run_experiment):
+    result = run_experiment("E12", rounds=1)
+    series = result.series("series")
+    high = max(series["ps"])
+    assert series["ps"][high]["p99"] < series["fifo"][high]["p99"]
+
+
+def _trace(n=500):
+    svc = Bimodal(500, 50_000, p_long=0.01)
+    gen = RequestGenerator(PoissonArrivals(gap_for_load(svc, 0.6)), svc,
+                           random.Random(3))
+    return gen.trace(n)
+
+
+def _run(factory, trace):
+    engine = Engine()
+    server = factory(engine)
+    feed_trace(engine, server, trace)
+    engine.run()
+    return server
+
+
+def test_bench_fifo_server(benchmark):
+    server = benchmark.pedantic(
+        lambda: _run(FifoServer, _trace()), rounds=3, iterations=1)
+    assert server.completed == 500
+
+
+def test_bench_ps_server(benchmark):
+    server = benchmark.pedantic(
+        lambda: _run(ProcessorSharingServer, _trace()), rounds=3,
+        iterations=1)
+    assert server.completed == 500

@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Each bench runs one experiment through pytest-benchmark and prints the
+experiment's tables -- the same rows EXPERIMENTS.md records -- so
+``pytest benchmarks/ --benchmark-only`` doubles as the paper's
+evaluation run.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Benchmark an experiment's run() and print its report."""
+
+    def runner(experiment_id: str, rounds: int = 2, quick: bool = True):
+        from repro.experiments import get_experiment
+
+        experiment = get_experiment(experiment_id)
+        result = benchmark.pedantic(experiment.run,
+                                    kwargs={"quick": quick},
+                                    rounds=rounds, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        assert result.all_supported(), (
+            f"{experiment_id} refuted a paper claim:\n"
+            + result.claim_table().render())
+        return result
+
+    return runner

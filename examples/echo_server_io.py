@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""An RX-processing server three ways: interrupts, polling, mwait.
+
+The Section 2 scenario ("Fast I/O without Inefficient Polling"): a NIC
+delivers a Poisson packet stream; the same stream is served by the
+three designs and the latency/waste trade-off is printed.
+
+Run:  python examples/echo_server_io.py [load]
+"""
+
+import sys
+
+from repro.analysis.tables import Table
+from repro.devices import Nic
+from repro.kernel import InterruptIoServer, MwaitIoServer, PollingIoServer
+from repro.machine import build_machine
+from repro.workloads import PoissonArrivals
+
+SERVICE_CYCLES = 800
+PACKETS = 500
+
+
+def serve(design: str, load: float):
+    machine = build_machine(seed=42)
+    nic = Nic(machine.engine, machine.memory, machine.dma)
+    server = {
+        "interrupt": InterruptIoServer,
+        "polling": PollingIoServer,
+        "mwait": MwaitIoServer,
+    }[design](machine.engine, machine.costs)
+
+    def on_tail_write(_info: dict) -> None:
+        while True:
+            packet = nic.rx.consume()
+            if packet is None:
+                return
+            server.deliver(packet["seq"], SERVICE_CYCLES)
+
+    machine.memory.watch_bus.subscribe(nic.rx.tail_addr, on_tail_write)
+    nic.start_rx(PoissonArrivals(SERVICE_CYCLES / load),
+                 machine.rngs.stream("rx"), max_packets=PACKETS)
+    machine.run(until=int(PACKETS * SERVICE_CYCLES / load * 4) + 2_000_000)
+    if isinstance(server, PollingIoServer):
+        server.finalize()
+    return machine, server.stats()
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    table = Table(["design", "packets", "p50 (cyc)", "p99 (cyc)",
+                   "wasted core %"],
+                  title=f"{PACKETS} packets at load {load}, "
+                        f"{SERVICE_CYCLES}-cycle service")
+    for design in ("interrupt", "polling", "mwait"):
+        machine, stats = serve(design, load)
+        table.add_row(design, stats.completed, stats.p50_latency,
+                      stats.p99_latency,
+                      100.0 * stats.wasted_cycles / machine.engine.now)
+    print(table.render())
+    print()
+    print("The paper's triangle: mwait matches polling's latency while")
+    print("wasting (almost) no core, and beats the interrupt path by the")
+    print("cost of the IRQ-entry + scheduler + context-switch chain.")
+
+
+if __name__ == "__main__":
+    main()

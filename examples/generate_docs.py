@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Generate the reference docs under docs/ from the source of truth.
+
+- ``docs/isa.md`` -- the instruction set, from :data:`repro.isa.OPS`;
+- ``docs/cost-model.md`` -- every latency constant with its value and
+  the paper sentence that motivates it, from
+  :class:`repro.arch.costs.CostModel`;
+- ``docs/experiments.md`` -- the experiment registry with anchors.
+
+``tests/test_docs_fresh.py`` regenerates these in memory and fails if
+the committed files drifted from the code.
+
+Run:  python examples/generate_docs.py
+"""
+
+import dataclasses
+import pathlib
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs"
+
+
+def isa_markdown() -> str:
+    from repro.isa.instructions import OPS
+
+    lines = [
+        "# The simulated ISA",
+        "",
+        "A small RISC-like base plus the seven instructions of the",
+        "paper's Section 3.1. Operand kinds: `R` register, `I`",
+        "immediate, `RI` either, `N` register *name* (for rpull/rpush/",
+        "csr), `L` label. Latencies are base issue cycles; memory and",
+        "thread-management costs are layered on from the CostModel.",
+        "",
+        "| opcode | operands | latency | privileged | description |",
+        "|---|---|---|---|---|",
+    ]
+    for spec in OPS.values():
+        lines.append(
+            f"| `{spec.name}` | {' '.join(spec.operands) or '-'} "
+            f"| {spec.latency} | {'yes' if spec.privileged else ''} "
+            f"| {spec.description} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def cost_model_markdown() -> str:
+    from repro.arch.costs import CostModel
+
+    model = CostModel()
+    lines = [
+        "# The cost model",
+        "",
+        "Every latency constant, in cycles at the paper's reference",
+        "3 GHz clock (3 cycles = 1 ns). The field-by-field rationale,",
+        "with paper quotations, lives in the docstring of",
+        "`repro.arch.costs.CostModel`; this table records the defaults.",
+        "",
+        "| constant | default (cycles) | ns @3GHz |",
+        "|---|---|---|",
+    ]
+    for field in dataclasses.fields(model):
+        value = getattr(model, field.name)
+        lines.append(f"| `{field.name}` | {value} | {value / 3:.1f} |")
+    lines += [
+        "",
+        "Derived path costs (see the class for the formulas):",
+        "",
+        "| path | cycles |",
+        "|---|---|",
+        f"| `baseline_io_wakeup_cycles()` "
+        f"| {model.baseline_io_wakeup_cycles()} |",
+        f"| `baseline_io_wakeup_cycles(cross_core=True)` "
+        f"| {model.baseline_io_wakeup_cycles(cross_core=True)} |",
+        f"| `hw_wakeup_cycles('rf')` | {model.hw_wakeup_cycles('rf')} |",
+        f"| `hw_wakeup_cycles('l3')` | {model.hw_wakeup_cycles('l3')} |",
+        f"| `sw_switch_total_cycles()` | {model.sw_switch_total_cycles()} |",
+        f"| `syscall_sync_cycles()` | {model.syscall_sync_cycles()} |",
+        f"| `syscall_hw_thread_cycles()` "
+        f"| {model.syscall_hw_thread_cycles()} |",
+        f"| `vm_exit_hw_thread_cycles()` "
+        f"| {model.vm_exit_hw_thread_cycles()} |",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def experiments_markdown() -> str:
+    from repro.experiments import all_experiments
+
+    lines = [
+        "# Experiment registry",
+        "",
+        "Run any of these with `python -m repro run <id>`; see",
+        "EXPERIMENTS.md for the measured tables and claim records.",
+        "",
+        "| id | title | paper anchor |",
+        "|---|---|---|",
+    ]
+    for experiment in all_experiments():
+        lines.append(f"| {experiment.experiment_id} | {experiment.title} "
+                     f"| {experiment.paper_anchor} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+GENERATORS = {
+    "isa.md": isa_markdown,
+    "cost-model.md": cost_model_markdown,
+    "experiments.md": experiments_markdown,
+}
+
+
+def main() -> None:
+    DOCS.mkdir(exist_ok=True)
+    for name, generate in GENERATORS.items():
+        path = DOCS / name
+        path.write_text(generate())
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

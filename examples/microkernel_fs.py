@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""A microkernel file-system service called two ways (Section 2).
+
+Clients call an fs service through (a) classic scheduler-mediated IPC
+(trap, enqueue, scheduler, context switch -- each way) and (b) direct
+hardware-thread start (rpush args, start the service ptid, mwait the
+reply). Prints round-trip cost and latency under increasing call rates.
+
+Run:  python examples/microkernel_fs.py
+"""
+
+from repro.analysis.tables import Table
+from repro.arch.costs import CostModel
+from repro.microkernel import DirectStartIpc, SchedulerIpc, ServiceClient
+from repro.microkernel.services import filesystem_service
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads import PoissonArrivals
+
+CALLS = 400
+
+
+def run_clients(mechanism: str, mean_gap: float):
+    engine = Engine()
+    costs = CostModel()
+    ipc = (SchedulerIpc(engine, costs) if mechanism == "scheduler"
+           else DirectStartIpc(engine, costs))
+    client = ServiceClient(engine, ipc, filesystem_service(), "read",
+                           PoissonArrivals(mean_gap),
+                           RngStreams(11).stream(mechanism),
+                           max_calls=CALLS)
+    engine.run(max_events=30_000_000)
+    return ipc, client
+
+
+def main() -> None:
+    costs = CostModel()
+    engine = Engine()
+    print("== null-call round trip ==")
+    rtt = Table(["mechanism", "RTT (cycles)", "ns @3GHz"])
+    for name, ipc in (("scheduler IPC", SchedulerIpc(engine, costs)),
+                      ("direct ptid start", DirectStartIpc(engine, costs))):
+        rtt.add_row(name, ipc.rtt_cycles(0), ipc.rtt_cycles(0) / 3.0)
+    print(rtt.render())
+
+    print()
+    print("== fs.read latency under load ==")
+    table = Table(["mean gap (cyc)", "scheduler p99", "direct p99",
+                   "speedup"])
+    for gap in (30_000, 10_000, 5_000):
+        _ipc, sched_client = run_clients("scheduler", gap)
+        _ipc, direct_client = run_clients("direct", gap)
+        sched_p99 = sched_client.recorder.pct(99)
+        direct_p99 = direct_client.recorder.pct(99)
+        table.add_row(gap, sched_p99, direct_p99,
+                      f"{sched_p99 / direct_p99:.1f}x")
+    print(table.render())
+    print()
+    print('"There is no need to move into kernel space and invoke the '
+          'scheduler."')
+
+
+if __name__ == "__main__":
+    main()

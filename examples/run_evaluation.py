@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Run the full paper evaluation (E01-E13) and print every table.
+
+This is the programmatic twin of ``pytest benchmarks/ --benchmark-only``.
+With ``--markdown`` it emits the per-experiment sections EXPERIMENTS.md
+embeds; with ``--quick`` it uses the small CI-sized workloads.
+
+Run:  python examples/run_evaluation.py [--quick] [--markdown]
+"""
+
+import sys
+
+from repro.experiments import all_experiments
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    markdown = "--markdown" in sys.argv
+    failures = []
+    for experiment in all_experiments():
+        result = experiment.run(quick=quick)
+        if markdown:
+            print(result.render_markdown())
+            print()
+        else:
+            print(result.render())
+            print()
+        if not result.all_supported():
+            failures.append(experiment.experiment_id)
+    if failures:
+        print(f"REFUTED claims in: {', '.join(failures)}", file=sys.stderr)
+        sys.exit(1)
+    if not markdown:
+        print(f"All {len(all_experiments())} experiments support the "
+              f"paper's claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Sandboxing an untrusted kernel extension in its own hardware thread.
+
+Section 2: "other system components can be isolated in a less
+privileged mode, such as binary translators and eBPF code. For eBPF, we
+could even relax some code restrictions if it ran in its own privilege
+domain. Quick hand-offs between hardware threads allow isolation
+without loss of performance."
+
+The kernel (supervisor ptid) hands a packet-filter decision to an
+untrusted extension ptid via direct start, with a TDT that gives the
+*extension* no permissions at all. The extension:
+
+1. computes its verdict and hands back control (the fast path);
+2. eventually misbehaves -- executes a privileged instruction -- and is
+   cleanly disabled with an exception descriptor the kernel inspects,
+   instead of taking the whole kernel down.
+
+Run:  python examples/sandboxed_extension.py
+"""
+
+from repro.hw.exceptions import ExceptionDescriptor, descriptor_present
+from repro.hw.tdt import Permission
+from repro.machine import build_machine
+
+KERNEL_PTID = 0
+EXT_PTID = 1
+ROUNDS = 6
+MISBEHAVE_AT = 4  # the extension goes rogue on this round
+
+_KERNEL_ASM = """
+    movi r5, 0              ; round counter
+kernel_loop:
+    work 300                ; kernel work (e.g. pull packet metadata)
+    movi r1, REQ
+    st r1, 0, r5            ; publish the request
+    start EXT_VTID          ; direct hand-off to the sandbox
+    movi r2, VERDICT
+    monitor r2
+    movi r3, EDP
+    monitor r3              ; also watch for a sandbox crash
+    mwait
+    ld r4, r3, 0
+    bne r4, r0, ext_crashed
+    addi r5, r5, 1
+    movi r6, ROUNDS
+    blt r5, r6, kernel_loop
+    halt
+ext_crashed:
+    movi r7, 1              ; record: sandbox contained
+    halt
+"""
+
+_EXT_ASM = """
+ext_loop:
+    movi r1, REQ
+    ld r2, r1, 0            ; the request id
+    work 150                ; filter computation
+    movi r3, BAD
+    beq r2, r3, go_rogue
+    movi r4, VERDICT
+    st r4, 0, r2            ; verdict write wakes the kernel
+    stop EXT_SELF_VTID      ; yield back until the next request
+    jmp ext_loop
+go_rogue:
+    privop 7                ; NOT ALLOWED: faults, writes descriptor
+    halt
+"""
+
+
+def main() -> None:
+    machine = build_machine()
+    req = machine.alloc("request", 64)
+    verdict = machine.alloc("verdict", 64)
+    edp = machine.alloc("ext-edp", 64)
+
+    # The extension's own TDT row lets it stop itself and nothing else;
+    # it has no entry for the kernel, so it cannot touch it.
+    ext_tdt = machine.build_tdt("ext-tdt", {0: (EXT_PTID, Permission.STOP)})
+    symbols = {
+        "REQ": req.base, "VERDICT": verdict.base, "EDP": edp.base,
+        "EXT_VTID": EXT_PTID, "EXT_SELF_VTID": 0,
+        "ROUNDS": ROUNDS, "BAD": MISBEHAVE_AT,
+    }
+    machine.load_asm(KERNEL_PTID, _KERNEL_ASM, symbols=symbols,
+                     supervisor=True, name="kernel")
+    machine.load_asm(EXT_PTID, _EXT_ASM, symbols=symbols,
+                     supervisor=False, tdtr=ext_tdt.base, edp=edp.base,
+                     name="extension")
+    machine.boot(KERNEL_PTID)
+    machine.run(until=1_000_000)
+    machine.check()
+
+    kernel = machine.thread(KERNEL_PTID)
+    served = machine.memory.load(verdict.base)
+    print("== sandboxed extension (eBPF-style) ==")
+    print(f"filter rounds served      : {kernel.arch.read('r5')}")
+    print(f"last verdict              : {served}")
+    print(f"sandbox crash contained?  : {bool(kernel.arch.read('r7'))}")
+    if descriptor_present(machine.memory, edp.base):
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        print(f"extension fault           : {descriptor.kind.name} "
+              f"at pc={descriptor.pc}")
+    print(f"kernel still alive?       : {kernel.finished} "
+          f"(halted cleanly, not crashed)")
+    print()
+    print('"Quick hand-offs between hardware threads allow isolation '
+          'without loss of performance."')
+
+
+if __name__ == "__main__":
+    main()

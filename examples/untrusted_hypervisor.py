@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""An unprivileged hypervisor serving a guest's VM-exits (Section 2).
+
+The guest executes privileged instructions; each one writes an
+exception descriptor and disables the guest ptid. A hypervisor running
+entirely in USER mode -- authorized only by a TDT entry -- monitors the
+descriptor line, emulates the instruction, and restarts the guest.
+
+Also demonstrates the non-hierarchical privilege example of Section 3.2
+(B may stop A, C may stop B, yet C may not stop A).
+
+Run:  python examples/untrusted_hypervisor.py
+"""
+
+from repro.analysis.tables import Table
+from repro.hypervisor import UntrustedHypervisorDemo
+from repro.hypervisor.untrusted import run_permission_matrix
+
+
+def main() -> None:
+    demo = UntrustedHypervisorDemo(iterations=20,
+                                   guest_work_cycles=2_000,
+                                   handler_work_cycles=400)
+    outcome = demo.run()
+
+    print("== guest + user-mode hypervisor (ISA-level) ==")
+    print(f"exits handled       : {outcome.exits_handled}")
+    print(f"guest iterations    : {outcome.guest_iterations}")
+    print(f"guest useful work   : {outcome.guest_work_cycles} cycles")
+    print(f"wall clock          : {outcome.wall_cycles} cycles")
+    print(f"virtualization tax  : {(outcome.slowdown - 1) * 100:.1f}%")
+    print(f"hypervisor privileged? {outcome.hv_ran_privileged}")
+
+    print()
+    print("== non-hierarchical privilege (Section 3.2) ==")
+    matrix = run_permission_matrix()
+    table = Table(["operation", "TDT says", "outcome"])
+    table.add_row("B stops A", "allowed",
+                  "stopped" if matrix["b_stopped_a"] else "FAILED")
+    table.add_row("C stops B", "allowed",
+                  "stopped" if matrix["c_stopped_b"] else "FAILED")
+    table.add_row("C stops A", "denied",
+                  f"faulted ({matrix['c_fault_kind']})"
+                  if matrix["c_faulted"] else "unexpectedly allowed")
+    print(table.render())
+    print()
+    print('"Such a configuration is impossible in existing '
+          'protection-ring-based designs."')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel. ``python setup.py develop`` installs an egg-link instead, which
+needs nothing beyond setuptools. All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Measurement and reporting utilities shared by all experiments.
+
+- :mod:`repro.analysis.stats` -- latency recorders, interpolated
+  percentiles, mean/max summaries, throughput helpers.
+- :mod:`repro.analysis.tables` -- plain-text tables with aligned
+  columns, used by every benchmark to print the rows the paper reports.
+- :mod:`repro.analysis.report` -- experiment-result containers and the
+  paper-vs-measured comparison records that feed EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import Claim, ExperimentResult, Verdict
+from repro.analysis.stats import LatencyRecorder, percentile, summarize
+from repro.analysis.tables import Table
+
+__all__ = [
+    "LatencyRecorder",
+    "percentile",
+    "summarize",
+    "Table",
+    "ExperimentResult",
+    "Claim",
+    "Verdict",
+]

@@ -1,0 +1,136 @@
+"""Experiment-result containers and paper-vs-measured claims.
+
+A position paper has no measured tables, so the reproduction target is
+its *quantitative claims* ("hundreds of cycles", "roughly 20 clock
+cycles", "83 to 224 x86-64 threads", ...). Each experiment emits
+:class:`Claim` records stating what the paper says, what we measured,
+and whether the measurement supports the claim's *shape* (ordering /
+rough factor), which is what EXPERIMENTS.md tabulates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.analysis.tables import Table
+from repro.errors import ConfigError
+
+
+class Verdict(enum.Enum):
+    """Did the measurement support the paper's claim?"""
+
+    SUPPORTED = "supported"
+    PARTIAL = "partial"
+    REFUTED = "refuted"
+
+
+@dataclass
+class Claim:
+    """One paper-vs-measured comparison row."""
+
+    claim: str                 # what the paper asserts, quoted or summarized
+    paper_value: str           # the paper's number / ordering, as text
+    measured_value: str        # what this reproduction measured
+    verdict: Verdict
+
+    def as_row(self) -> tuple:
+        return (self.claim, self.paper_value, self.measured_value,
+                self.verdict.value)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    ``tables`` hold the printable evaluation rows; ``claims`` the
+    paper-vs-measured records; ``data`` raw series for tests that
+    assert on shapes (monotonicity, crossovers, ratios).
+    """
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    claims: List[Claim] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def add_claim(self, claim: str, paper_value: str, measured_value: str,
+                  verdict: Verdict = Verdict.SUPPORTED) -> Claim:
+        record = Claim(claim, paper_value, measured_value, verdict)
+        self.claims.append(record)
+        return record
+
+    def claim_table(self) -> Table:
+        """The claims rendered as a table."""
+        table = Table(["claim", "paper", "measured", "verdict"],
+                      title=f"{self.experiment_id}: paper vs measured")
+        for claim in self.claims:
+            table.add_row(*claim.as_row())
+        return table
+
+    def all_supported(self) -> bool:
+        """True when no claim was refuted."""
+        return all(c.verdict is not Verdict.REFUTED for c in self.claims)
+
+    def render(self) -> str:
+        """Full text report: title, tables, claims."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(table.render())
+        if self.claims:
+            parts.append(self.claim_table().render())
+        return "\n\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """Markdown report for EXPERIMENTS.md."""
+        parts = [f"### {self.experiment_id}: {self.title}"]
+        for table in self.tables:
+            parts.append(table.render_markdown())
+        if self.claims:
+            parts.append(self.claim_table().render_markdown())
+        return "\n\n".join(parts)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize tables, claims, and data for downstream plotting.
+
+        Non-JSON-native values in ``data`` (dataclasses, enums) are
+        stringified; the tables and claims are always fully structured.
+        """
+        import json
+
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "tables": [
+                {
+                    "title": table.title,
+                    "columns": table.columns,
+                    "rows": table.rows,
+                }
+                for table in self.tables
+            ],
+            "claims": [
+                {
+                    "claim": claim.claim,
+                    "paper": claim.paper_value,
+                    "measured": claim.measured_value,
+                    "verdict": claim.verdict.value,
+                }
+                for claim in self.claims
+            ],
+            "data": self.data,
+        }
+        return json.dumps(payload, indent=indent, default=str)
+
+    def series(self, key: str) -> Any:
+        """Fetch a raw data series; raises with the known keys on miss."""
+        if key not in self.data:
+            raise ConfigError(
+                f"{self.experiment_id} has no series {key!r}; "
+                f"known: {sorted(self.data)}")
+        return self.data[key]

@@ -1,0 +1,152 @@
+"""Latency statistics.
+
+Percentiles use linear interpolation between closest ranks (the same
+convention as ``numpy.percentile``'s default), computed in pure Python
+so the core library stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigError
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Interpolated percentile of ``samples`` (pct in [0, 100])."""
+    if not samples:
+        raise ConfigError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ConfigError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    # delta form: exact when the neighbors are equal (the lerp form
+    # a*(1-f) + b*f drifts by an ULP, and worse for denormals)
+    return float(ordered[low] + (ordered[high] - ordered[low]) * frac)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a latency sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Compute the standard summary used in every experiment table."""
+    if not samples:
+        raise ConfigError("summarize of empty sample set")
+    ordered = sorted(samples)
+    return Summary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=percentile(ordered, 50.0),
+        p95=percentile(ordered, 95.0),
+        p99=percentile(ordered, 99.0),
+        maximum=float(ordered[-1]),
+    )
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and derives summaries.
+
+    Supports warmup trimming: the first ``warmup`` recorded samples are
+    dropped from statistics (standard steady-state practice).
+    """
+
+    def __init__(self, name: str = "", warmup: int = 0):
+        if warmup < 0:
+            raise ConfigError(f"warmup must be non-negative, got {warmup}")
+        self.name = name
+        self.warmup = warmup
+        self._samples: List[float] = []
+        self._seen = 0
+
+    def record(self, value: float) -> None:
+        """Record one sample (warmup samples are counted but dropped)."""
+        self._seen += 1
+        if self._seen > self.warmup:
+            self._samples.append(float(value))
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def summary(self) -> Summary:
+        return summarize(self._samples)
+
+    def pct(self, pct: float) -> float:
+        return percentile(self._samples, pct)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ConfigError(f"recorder {self.name!r} has no samples")
+        return sum(self._samples) / len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<LatencyRecorder {self.name} n={len(self._samples)}>"
+
+
+def throughput_per_second(completed: int, elapsed_cycles: float,
+                          freq_ghz: float = 3.0) -> float:
+    """Completions per wall-clock second at the given frequency."""
+    if elapsed_cycles <= 0:
+        raise ConfigError(f"elapsed must be positive, got {elapsed_cycles}")
+    seconds = elapsed_cycles / (freq_ghz * 1e9)
+    return completed / seconds
+
+
+def utilization(busy_cycles: float, elapsed_cycles: float,
+                servers: int = 1) -> float:
+    """Fraction of server capacity spent busy."""
+    if elapsed_cycles <= 0:
+        raise ConfigError(f"elapsed must be positive, got {elapsed_cycles}")
+    return busy_cycles / (elapsed_cycles * servers)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe a/b for speedup columns; b == 0 returns inf."""
+    if b == 0:
+        return math.inf
+    return a / b
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for aggregating speedups)."""
+    if not values:
+        raise ConfigError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

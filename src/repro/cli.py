@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+- ``list`` -- the registered experiments with their paper anchors;
+- ``run E03 [--quick]`` -- one experiment, tables + claims printed;
+- ``evaluate [--quick] [--markdown]`` -- the full E01-E13 evaluation;
+- ``sensitivity`` -- the cost-model break-even analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Behavioral reproduction of 'A Case Against (Most) "
+                    "Context Switches' (HotOS '21)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="e.g. E03")
+    run.add_argument("--quick", action="store_true",
+                     help="small CI-sized workloads")
+    run.add_argument("--seed", type=lambda v: int(v, 0), default=0xC0FFEE)
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit structured JSON instead of tables")
+
+    evaluate = sub.add_parser("evaluate", help="run every experiment")
+    evaluate.add_argument("--quick", action="store_true")
+    evaluate.add_argument("--markdown", action="store_true",
+                          help="emit EXPERIMENTS.md sections")
+
+    sub.add_parser("sensitivity",
+                   help="cost-model break-even analysis")
+
+    sub.add_parser("isa", help="the simulated ISA, instruction by "
+                               "instruction")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.analysis.tables import Table
+    from repro.experiments import all_experiments
+
+    table = Table(["id", "title", "paper anchor"])
+    for experiment in all_experiments():
+        table.add_row(experiment.experiment_id, experiment.title,
+                      experiment.paper_anchor)
+    print(table.render())
+    return 0
+
+
+def _cmd_run(experiment_id: str, quick: bool, seed: int,
+             as_json: bool = False) -> int:
+    from repro.errors import ReproError
+    from repro.experiments import get_experiment
+
+    try:
+        experiment = get_experiment(experiment_id.upper())
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    result = experiment.run(quick=quick, seed=seed)
+    print(result.to_json() if as_json else result.render())
+    return 0 if result.all_supported() else 1
+
+
+def _cmd_isa() -> int:
+    from repro.analysis.tables import Table
+    from repro.isa.instructions import OPS
+
+    table = Table(["opcode", "operands", "latency", "description"])
+    for spec in OPS.values():
+        table.add_row(spec.name, " ".join(spec.operands) or "-",
+                      spec.latency, spec.description)
+    print(table.render())
+    return 0
+
+
+def _cmd_evaluate(quick: bool, markdown: bool) -> int:
+    from repro.experiments import all_experiments
+
+    failures: List[str] = []
+    for experiment in all_experiments():
+        result = experiment.run(quick=quick)
+        print(result.render_markdown() if markdown else result.render())
+        print()
+        if not result.all_supported():
+            failures.append(experiment.experiment_id)
+    if failures:
+        print(f"REFUTED claims in: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sensitivity() -> int:
+    from repro.experiments.sensitivity import sensitivity_table
+
+    print(sensitivity_table().render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment_id, args.quick, args.seed,
+                            args.as_json)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args.quick, args.markdown)
+        if args.command == "sensitivity":
+            return _cmd_sensitivity()
+        if args.command == "isa":
+            return _cmd_isa()
+        parser.print_help()
+        return 0
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early; not an error
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001 - best-effort flush
+            pass
+        return 0

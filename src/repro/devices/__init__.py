@@ -1,0 +1,33 @@
+"""Device models: the event sources that drive the I/O experiments.
+
+All devices write into the shared simulated :class:`~repro.mem.memory.Memory`
+through the DMA engine, so a hardware thread that armed a monitor on a
+ring tail (or an MSI-X target word) wakes exactly as the paper
+describes -- and a baseline kernel can instead register a legacy
+interrupt callback with the same device. One device model, two worlds.
+
+- :mod:`repro.devices.timer` -- the local APIC timer of Section 2/3.1
+  ("each core's APIC timer can increment a counter every time a timer
+  interrupt is triggered").
+- :mod:`repro.devices.nic` -- RX/TX rings, payload DMA, tail-pointer
+  doorbells ("a network thread can wait on the RX queue tail until
+  packet arrival").
+- :mod:`repro.devices.ssd` -- NVMe-style submission/completion queues.
+- :mod:`repro.devices.msix` -- legacy-interrupt-to-memory-write
+  translation ("hardware must translate external interrupts to memory
+  writes (similar to PCIe MSI-x functionality)").
+"""
+
+from repro.devices.msix import MsixTranslator
+from repro.devices.nic import Nic, RxRing, TxRing
+from repro.devices.ssd import Ssd
+from repro.devices.timer import ApicTimer
+
+__all__ = [
+    "ApicTimer",
+    "Nic",
+    "RxRing",
+    "TxRing",
+    "Ssd",
+    "MsixTranslator",
+]

@@ -1,0 +1,32 @@
+"""Distributed-programming models: how an RPC server hides I/O latency.
+
+Section 2 ("Simpler Distributed Programming"): distributed applications
+today pick between "event-based models [that] are more difficult to
+work with" and software threads whose multiplexing "requires frequent
+scheduler interaction". With many hardware threads, "developers can
+assign one hardware thread per request and use simple blocking I/O
+semantics without suffering from significant thread scheduling
+overheads".
+
+:mod:`repro.distributed.rpc` implements the three server designs over a
+common workload -- requests with CPU segments separated by remote calls
+-- so E09 can compare throughput and tail latency at equal offered load.
+"""
+
+from repro.distributed.rpc import (
+    EVENT_LOOP,
+    HW_THREADS,
+    SW_THREADS,
+    RpcServerModel,
+    RpcWorkload,
+    ServerDesign,
+)
+
+__all__ = [
+    "ServerDesign",
+    "HW_THREADS",
+    "SW_THREADS",
+    "EVENT_LOOP",
+    "RpcServerModel",
+    "RpcWorkload",
+]

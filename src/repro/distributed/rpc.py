@@ -1,0 +1,185 @@
+"""RPC server designs over a shared segmented-request workload.
+
+A request is ``segments`` bursts of CPU work separated by remote calls
+of ``rtt_cycles`` each (during which the request holds no CPU). The
+three designs differ in (a) how the CPU is shared among runnable
+segments and (b) what each block/unblock transition costs:
+
+=============  ==============  =======================================
+design         CPU discipline  per-transition overhead (CPU cycles)
+=============  ==============  =======================================
+hw-threads     PS              hardware wakeup (monitor + ptid start)
+sw-threads     PS              software: scheduler + switch + pollution
+                               on block *and* on wake
+event-loop     FIFO            callback dispatch (tens of cycles), but
+                               run-to-completion -- long handlers block
+                               everyone (head-of-line)
+=============  ==============  =======================================
+
+The sw-threads overhead consumes server capacity, so its saturation
+point drops below the other two -- the paper's "multiplexing a large
+number of software threads onto a small number of hardware threads is
+expensive". The event loop matches hw-threads on throughput but is the
+"confusing control flow" [78] option and suffers under high service
+variability from head-of-line blocking, which the latency distribution
+shows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.stats import LatencyRecorder
+from repro.arch.costs import CostModel
+from repro.errors import ConfigError
+from repro.kernel.sched import (
+    FifoServer,
+    ProcessorSharingServer,
+    QueueingServer,
+)
+from repro.sim.engine import Engine
+from repro.sim.process import Signal
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.requests import Request
+from repro.workloads.service import ServiceDistribution
+
+
+@dataclass(frozen=True)
+class ServerDesign:
+    """A named (discipline, overhead-model) pair."""
+
+    name: str
+    discipline: str             # "ps" | "fifo"
+
+    def transition_overhead_cycles(self, costs: CostModel) -> int:
+        """CPU cycles charged per block/unblock transition."""
+        if self.name == "hw-threads":
+            return costs.hw_wakeup_cycles("rf")
+        if self.name == "sw-threads":
+            # block: switch away; wake: scheduler + switch back (+ the
+            # cache pollution both sides eat)
+            return (costs.sw_switch_cycles
+                    + costs.scheduler_cycles + costs.sw_switch_cycles
+                    + costs.cache_pollution_cycles)
+        if self.name == "event-loop":
+            return 50  # enqueue continuation + dispatch callback
+        raise ConfigError(f"unknown design {self.name!r}")
+
+
+HW_THREADS = ServerDesign("hw-threads", "ps")
+SW_THREADS = ServerDesign("sw-threads", "ps")
+EVENT_LOOP = ServerDesign("event-loop", "fifo")
+
+
+class RpcServerModel:
+    """One server instance executing segmented requests."""
+
+    def __init__(self, engine: Engine, design: ServerDesign,
+                 costs: Optional[CostModel] = None, cores: int = 1):
+        if cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {cores}")
+        self.engine = engine
+        self.design = design
+        self.costs = costs or CostModel()
+        self.cores = cores
+        self.recorder = LatencyRecorder(f"{design.name}.latency")
+        self.completed = 0
+        self.active = 0
+        self.peak_concurrency = 0
+        if design.discipline == "ps":
+            self.cpu: QueueingServer = ProcessorSharingServer(
+                engine, name=f"{design.name}.cpu", servers=cores)
+        elif design.discipline == "fifo":
+            if cores != 1:
+                raise ConfigError(
+                    "the event loop is single-threaded by definition")
+            self.cpu = FifoServer(engine, name=f"{design.name}.cpu")
+        else:
+            raise ConfigError(f"unknown discipline {design.discipline!r}")
+        self._seg_counter = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request_id: int, segment_cycles: list,
+               rtt_cycles: int) -> None:
+        """A request arrives now with the given CPU segments."""
+        if not segment_cycles:
+            raise ConfigError("request needs at least one segment")
+        self.engine.spawn(
+            self._handle(request_id, list(segment_cycles), rtt_cycles),
+            name=f"{self.design.name}.req{request_id}")
+
+    def _handle(self, request_id: int, segments: list, rtt: int):
+        self.active += 1
+        self.peak_concurrency = max(self.peak_concurrency, self.active)
+        arrived = self.engine.now
+        overhead = self.design.transition_overhead_cycles(self.costs)
+        for index, seg in enumerate(segments):
+            demand = max(1, int(round(seg))) + overhead
+            done = Signal("seg.done")
+            self._seg_counter += 1
+            self.cpu.offer(Request(
+                req_id=self._seg_counter,
+                arrival_time=float(self.engine.now),
+                service_cycles=demand,
+                payload={"done": done}))
+            yield done
+            if index < len(segments) - 1:
+                yield max(1, rtt)   # blocked on the remote call, no CPU
+        self.active -= 1
+        self.completed += 1
+        self.recorder.record(self.engine.now - arrived)
+
+    # ------------------------------------------------------------------
+    def cpu_busy_cycles(self) -> int:
+        return int(self.cpu.busy_cycles)
+
+
+class RpcWorkload:
+    """Open-loop driver: requests arrive per ``arrivals``, each with
+    ``segments`` CPU bursts from ``service`` and fixed ``rtt_cycles``."""
+
+    def __init__(self, engine: Engine, server: RpcServerModel,
+                 arrivals: ArrivalProcess, service: ServiceDistribution,
+                 rng: random.Random, segments: int = 3,
+                 rtt_cycles: int = 15_000, max_requests: int = 2_000):
+        if segments < 1:
+            raise ConfigError("need at least one segment")
+        if max_requests < 1:
+            raise ConfigError("need at least one request")
+        self.engine = engine
+        self.server = server
+        self.arrivals = arrivals
+        self.service = service
+        self.rng = rng
+        self.segments = segments
+        self.rtt_cycles = rtt_cycles
+        self.max_requests = max_requests
+        self.issued = 0
+        self._schedule()
+
+    def _schedule(self) -> None:
+        gaps = self.arrivals.gaps(self.rng)
+
+        def next_arrival() -> None:
+            if self.issued >= self.max_requests:
+                return
+            self.engine.after(max(1, int(round(next(gaps)))), arrive)
+
+        def arrive() -> None:
+            self.issued += 1
+            # split one service draw across the segments
+            total = max(float(self.segments), self.service.sample(self.rng))
+            per_segment = [total / self.segments] * self.segments
+            self.server.submit(self.issued, per_segment, self.rtt_cycles)
+            next_arrival()
+
+        next_arrival()
+
+    # ------------------------------------------------------------------
+    def cpu_demand_per_request(self) -> float:
+        """Mean CPU cycles one request needs, including overheads."""
+        overhead = self.server.design.transition_overhead_cycles(
+            self.server.costs)
+        return self.service.mean() + self.segments * overhead

@@ -1,0 +1,122 @@
+"""E01: Table 1 -- the example Thread Descriptor Table.
+
+Reproduces the paper's only table exactly and then *executes* it: for
+every row, an unprivileged caller attempts each thread-management
+operation on the callee and the outcome must match the permission bits
+("start - stop - modify some registers - modify most registers"),
+including the all-zero "(invalid)" row faulting on any use.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult, Verdict
+from repro.analysis.tables import Table
+from repro.experiments.registry import register
+from repro.hw.exceptions import descriptor_present
+from repro.hw.ptid import PtidState
+from repro.hw.tdt import Permission
+from repro.machine import build_machine
+
+#: Table 1 verbatim: vtid -> (ptid, permission bits).
+TABLE_1 = {
+    0x0: (0x01, Permission(0b1000)),
+    0x1: (0x00, Permission(0b0000)),
+    0x2: (0x10, Permission(0b1111)),
+    0x3: (0x11, Permission(0b1110)),
+}
+
+#: The operations the four bits govern, in caption order.
+OPERATIONS = ("start", "stop", "modify_some", "modify_most")
+
+
+def _expected(perms: Permission) -> dict:
+    return {
+        "start": bool(perms & Permission.START),
+        "stop": bool(perms & Permission.STOP),
+        "modify_some": bool(perms & (Permission.MODIFY_SOME
+                                     | Permission.MODIFY_MOST)),
+        "modify_most": bool(perms & Permission.MODIFY_MOST),
+    }
+
+
+_ATTEMPT_ASM = {
+    # each program performs exactly one operation on vtid VT, then halts;
+    # on denial the caller faults (descriptor at its edp) and never halts
+    "start": "start VT\nhalt",
+    "stop": "stop VT\nhalt",
+    "modify_some": "movi r1, 7\nrpush VT, r2, r1\nhalt",      # GPR write
+    "modify_most": "movi r1, 5\nrpush VT, pc, r1\nhalt",      # pc write
+}
+
+
+def _attempt(vtid: int, ptid: int, operation: str) -> bool:
+    """Run one unprivileged attempt; True if it was permitted."""
+    machine = build_machine(hw_threads_per_core=32)
+    tdt = machine.build_tdt("tdt", {vt: (pt, perms)
+                                    for vt, (pt, perms) in TABLE_1.items()})
+    edp = machine.alloc("caller-edp", 64)
+    # the callee ptid must exist and be in the right state for the op:
+    # disabled for rpush, runnable for stop, disabled for start
+    callee = machine.thread(ptid)
+    if operation == "stop":
+        machine.load_asm(ptid, "spin:\n    jmp spin", supervisor=False)
+        machine.boot(ptid)
+    machine.load_asm(31, _ATTEMPT_ASM[operation],
+                     symbols={"VT": vtid}, supervisor=False,
+                     tdtr=tdt.base, edp=edp.base, name="caller")
+    machine.boot(31)
+    machine.run(until=20_000)
+    machine.check()
+    caller = machine.thread(31)
+    denied = descriptor_present(machine.memory, edp.base)
+    if denied:
+        return False
+    if not caller.finished:
+        raise AssertionError(
+            f"caller neither finished nor faulted for {operation} on "
+            f"vtid {vtid}")
+    # the op executed; spot-check its effect
+    if operation == "start":
+        assert callee.starts >= 1 or callee.state is not PtidState.DISABLED
+    if operation == "stop":
+        assert callee.stops >= 1
+    return True
+
+
+@register("E01", "Example Thread Descriptor Table (Table 1)",
+          'Section 3.2, Table 1')
+def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
+    result = ExperimentResult("E01", "Example Thread Descriptor Table")
+    layout = Table(["vtid", "ptid", "permissions", "note"],
+                   title="Table 1, reproduced")
+    outcomes = Table(["vtid"] + [f"{op}?" for op in OPERATIONS],
+                     title="Observed enforcement (unprivileged caller)")
+    all_match = True
+    per_vtid = {}
+    for vtid, (ptid, perms) in TABLE_1.items():
+        note = "(invalid)" if perms == Permission.NONE else ""
+        layout.add_row(f"{vtid:#x}", f"{ptid:#04x}", f"0b{int(perms):04b}",
+                       note)
+        expected = _expected(perms)
+        observed = {op: _attempt(vtid, ptid, op) for op in OPERATIONS}
+        per_vtid[vtid] = observed
+        all_match = all_match and observed == expected
+        outcomes.add_row(f"{vtid:#x}",
+                         *["yes" if observed[op] else "DENIED"
+                           for op in OPERATIONS])
+    result.add_table(layout)
+    result.add_table(outcomes)
+    result.data["observed"] = per_vtid
+    result.data["all_match"] = all_match
+    result.add_claim(
+        "4 permission bits gate start/stop/modify-some/modify-most",
+        "Table 1 semantics", "all 16 vtid x op outcomes match",
+        Verdict.SUPPORTED if all_match else Verdict.REFUTED)
+    invalid_denied = not any(per_vtid[0x1].values())
+    result.add_claim(
+        "the all-zero permission row is invalid",
+        "row 0x1 '(invalid)'",
+        "every operation on vtid 0x1 faults" if invalid_denied
+        else "some operation on vtid 0x1 succeeded",
+        Verdict.SUPPORTED if invalid_denied else Verdict.REFUTED)
+    return result

@@ -1,0 +1,124 @@
+"""E04: "Exception-less System Calls" without the asynchrony.
+
+The paper's trade-off: in-thread syscalls pay the mode switch
+("hundreds of cycles"); FlexSC-style separate kernel threads amortize
+it but need "complex asynchronous APIs" -- visible here as per-call
+latency inflated by the batching window. The dedicated-hardware-thread
+path gets synchronous semantics *and* tiny overhead.
+
+Two tables: per-call cost at varying syscall intensity (user work
+between calls), and the per-path overhead constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import ExperimentResult, Verdict
+from repro.analysis.tables import Table
+from repro.arch.costs import CostModel
+from repro.experiments.registry import register
+from repro.kernel.syscalls import (
+    FlexScPath,
+    HwThreadSyscallPath,
+    SyncSyscallPath,
+    SyscallRunner,
+)
+from repro.sim.engine import Engine
+
+KERNEL_WORK = 300
+
+PATHS = ("sync", "flexsc", "hw-thread")
+
+
+def _make_path(name: str, engine: Engine, costs: CostModel):
+    if name == "sync":
+        return SyncSyscallPath(engine, costs)
+    if name == "flexsc":
+        return FlexScPath(engine, costs)
+    if name == "hw-thread":
+        return HwThreadSyscallPath(engine, costs)
+    raise ValueError(name)
+
+
+def _run_one(name: str, user_work: int, iterations: int,
+             costs: CostModel) -> Dict:
+    engine = Engine()
+    path = _make_path(name, engine, costs)
+    runner = SyscallRunner(engine, path, iterations,
+                           user_work_cycles=user_work,
+                           kernel_work_cycles=KERNEL_WORK)
+    engine.run()
+    return {
+        "p50": runner.recorder.pct(50),
+        "overhead_frac": runner.overhead_fraction(),
+        "total": runner.total_cycles(),
+        "path_overhead": path.overhead_cycles(),
+    }
+
+
+@register("E04", "Exception-less syscalls via dedicated hardware threads",
+          'Section 2, "Exception-less System Calls and No VM-Exits"')
+def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
+    iterations = 100 if quick else 1_000
+    user_works = (500, 5_000) if quick else (200, 500, 2_000, 10_000)
+    costs = CostModel()
+    result = ExperimentResult(
+        "E04", "Exception-less syscalls via dedicated hardware threads")
+
+    constants = Table(["path", "per-call overhead (cyc)", "API"],
+                      title="Per-call overhead constants")
+    constants.add_row("sync in-thread",
+                      SyncSyscallPath(Engine(), costs).overhead_cycles(),
+                      "synchronous")
+    constants.add_row("FlexSC batched",
+                      FlexScPath(Engine(), costs).overhead_cycles(),
+                      "asynchronous (batch window)")
+    constants.add_row("dedicated hw thread",
+                      HwThreadSyscallPath(Engine(), costs).overhead_cycles(),
+                      "synchronous")
+    result.add_table(constants)
+
+    sweep = Table(["user work (cyc)"]
+                  + [f"{p} p50" for p in PATHS]
+                  + [f"{p} ovh%" for p in PATHS],
+                  title=f"Per-call latency and overhead fraction, "
+                        f"{iterations} calls, kernel work {KERNEL_WORK} cyc")
+    series: Dict[str, Dict[int, Dict]] = {p: {} for p in PATHS}
+    for user_work in user_works:
+        cells = {p: _run_one(p, user_work, iterations, costs) for p in PATHS}
+        for path in PATHS:
+            series[path][user_work] = cells[path]
+        sweep.add_row(user_work,
+                      *[cells[p]["p50"] for p in PATHS],
+                      *[100.0 * cells[p]["overhead_frac"] for p in PATHS])
+    result.add_table(sweep)
+    result.data["series"] = series
+
+    hw = series["hw-thread"]
+    sync = series["sync"]
+    flexsc = series["flexsc"]
+    heaviest = user_works[0]
+    result.add_claim(
+        "mode switches cost hundreds of cycles per syscall",
+        "can take hundreds of cycles [46, 69]",
+        f"sync path charges {costs.mode_switch_cycles} cycles per call",
+        Verdict.SUPPORTED if costs.mode_switch_cycles >= 100
+        else Verdict.REFUTED)
+    hw_beats_sync = all(hw[w]["p50"] < sync[w]["p50"] for w in user_works)
+    result.add_claim(
+        "dedicated hw-thread syscalls avoid the mode-switch overhead",
+        "avoiding the mode switching overheads",
+        f"p50 at {heaviest}-cycle user work: hw {hw[heaviest]['p50']:.0f} "
+        f"vs sync {sync[heaviest]['p50']:.0f} cycles",
+        Verdict.SUPPORTED if hw_beats_sync else Verdict.REFUTED)
+    sync_latency_beats_flexsc = all(
+        flexsc[w]["p50"] > sync[w]["p50"] for w in user_works)
+    result.add_claim(
+        "separate kernel threads need async batching (FlexSC) and "
+        "suffer per-call delays",
+        "requires complex asynchronous APIs ... excessive delays",
+        f"FlexSC p50 {flexsc[heaviest]['p50']:.0f} vs sync "
+        f"{sync[heaviest]['p50']:.0f} cycles for a synchronous caller",
+        Verdict.SUPPORTED if sync_latency_beats_flexsc else Verdict.PARTIAL)
+    return result

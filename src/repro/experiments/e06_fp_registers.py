@@ -1,0 +1,143 @@
+"""E06: "Access to All Registers in the Kernel".
+
+Kernels avoid FP/vector instructions because touching them inflates
+every context switch: the FXSAVE area grows the per-thread footprint
+from 272 to 784 bytes and adds save/restore cycles to each mode switch.
+With a dedicated kernel hardware thread, kernel FP use costs the
+*kernel thread's own* state only -- the application's syscall latency
+is untouched.
+
+Measured here: (a) the state-footprint arithmetic, (b) syscall cost
+with an FP-using kernel on both paths, (c) an ISA-level check that
+``fwork``/vector instructions dirty the footprint of only the executing
+ptid.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult, Verdict
+from repro.analysis.tables import Table
+from repro.arch.costs import CostModel
+from repro.arch.registers import (
+    X86_64_BASE_STATE_BYTES,
+    X86_64_FULL_STATE_BYTES,
+)
+from repro.experiments.registry import register
+from repro.kernel.syscalls import (
+    HwThreadSyscallPath,
+    SyncSyscallPath,
+    SyscallRunner,
+)
+from repro.machine import build_machine
+from repro.sim.engine import Engine
+
+KERNEL_WORK = 300
+USER_WORK = 500
+
+
+def _syscall_p50(path_name: str, kernel_uses_fp: bool, iterations: int,
+                 costs: CostModel) -> float:
+    engine = Engine()
+    if path_name == "sync":
+        path = SyncSyscallPath(engine, costs, kernel_uses_fp=kernel_uses_fp)
+    else:
+        path = HwThreadSyscallPath(engine, costs,
+                                   kernel_uses_fp=kernel_uses_fp)
+    runner = SyscallRunner(engine, path, iterations,
+                           user_work_cycles=USER_WORK,
+                           kernel_work_cycles=KERNEL_WORK)
+    engine.run()
+    return runner.recorder.pct(50)
+
+
+def _isa_fp_isolation() -> dict:
+    """Run FP work in one ptid, integer work in another; check that
+    only the FP ptid's architectural footprint grew."""
+    machine = build_machine()
+    machine.load_asm(0, """
+        vmovi v0, 42
+        fwork 100
+        halt
+    """, supervisor=True, name="fp-kernel")
+    machine.load_asm(1, """
+        movi r1, 7
+        work 100
+        halt
+    """, supervisor=False, name="int-app")
+    machine.boot(0)
+    machine.boot(1)
+    machine.run(until=10_000)
+    machine.check()
+    return {
+        "kernel_dirty": machine.thread(0).arch.vector_dirty,
+        "app_dirty": machine.thread(1).arch.vector_dirty,
+        "kernel_bytes": machine.thread(0).arch.footprint_bytes(),
+        "app_bytes": machine.thread(1).arch.footprint_bytes(),
+    }
+
+
+@register("E06", "Kernel FP/vector use without syscall-latency cost",
+          'Section 2, "Access to All Registers in the Kernel"')
+def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
+    iterations = 100 if quick else 1_000
+    costs = CostModel()
+    result = ExperimentResult(
+        "E06", "Kernel FP/vector use without syscall-latency cost")
+
+    footprint = Table(["state", "bytes", "paper"],
+                      title="Per-thread register-state footprint")
+    footprint.add_row("base x86-64", X86_64_BASE_STATE_BYTES, "272 B")
+    footprint.add_row("with SSE/FXSAVE", X86_64_FULL_STATE_BYTES, "784 B")
+    result.add_table(footprint)
+
+    sweep = Table(["path", "kernel FP", "syscall p50 (cyc)", "penalty"],
+                  title=f"Syscall latency with an FP-using kernel "
+                        f"({iterations} calls)")
+    cells = {}
+    for path_name in ("sync", "hw-thread"):
+        base = _syscall_p50(path_name, False, iterations, costs)
+        with_fp = _syscall_p50(path_name, True, iterations, costs)
+        cells[path_name] = {"base": base, "fp": with_fp}
+        sweep.add_row(path_name, "no", base, "--")
+        sweep.add_row(path_name, "yes", with_fp,
+                      f"+{with_fp - base:.0f} cyc")
+    result.add_table(sweep)
+
+    isolation = _isa_fp_isolation()
+    isa_table = Table(["ptid", "vector dirty", "footprint (B)"],
+                      title="ISA-level: FP state is per-ptid")
+    isa_table.add_row("kernel (fwork/vmovi)",
+                      str(isolation["kernel_dirty"]),
+                      isolation["kernel_bytes"])
+    isa_table.add_row("app (integer only)",
+                      str(isolation["app_dirty"]),
+                      isolation["app_bytes"])
+    result.add_table(isa_table)
+    result.data["cells"] = cells
+    result.data["isolation"] = isolation
+
+    result.add_claim(
+        "FP/vector use grows per-thread state 272 B -> 784 B",
+        "272 bytes ... up to 784 bytes if SSE3 vector extensions are used",
+        f"{X86_64_BASE_STATE_BYTES} B -> {X86_64_FULL_STATE_BYTES} B",
+        Verdict.SUPPORTED
+        if (X86_64_BASE_STATE_BYTES, X86_64_FULL_STATE_BYTES) == (272, 784)
+        else Verdict.REFUTED)
+    sync_penalty = cells["sync"]["fp"] - cells["sync"]["base"]
+    hw_penalty = cells["hw-thread"]["fp"] - cells["hw-thread"]["base"]
+    result.add_claim(
+        "kernel FP use penalizes in-thread syscalls but not hw-thread ones",
+        "without affecting the system call invocation latency",
+        f"FP penalty: sync +{sync_penalty:.0f} cyc, hw-thread "
+        f"+{hw_penalty:.0f} cyc",
+        Verdict.SUPPORTED if sync_penalty > 0 and hw_penalty == 0
+        else Verdict.REFUTED)
+    isolated = (isolation["kernel_dirty"] and not isolation["app_dirty"]
+                and isolation["kernel_bytes"] > isolation["app_bytes"])
+    result.add_claim(
+        "FP state belongs to the hardware thread that used it",
+        "kernel code can run in one hardware thread and application "
+        "code in a different hardware thread",
+        "only the FP-using ptid's footprint grew to 784 B",
+        Verdict.SUPPORTED if isolated else Verdict.REFUTED)
+    return result

@@ -1,0 +1,194 @@
+"""E09: "Simpler Distributed Programming".
+
+An RPC server whose requests interleave CPU bursts with remote calls,
+implemented three ways: hardware thread-per-request (blocking I/O,
+near-free transitions), software thread-per-request (every block/wake
+pays the scheduler + switch tax), and an event loop (cheap transitions
+but run-to-completion). Two sweeps:
+
+1. offered CPU load -- software threads saturate first because the
+   transition tax consumes capacity;
+2. service-time variability at fixed load -- the event loop's
+   head-of-line blocking inflates its tail while hw threads (PS) hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import ExperimentResult, Verdict
+from repro.analysis.tables import Table
+from repro.arch.costs import CostModel
+from repro.distributed.rpc import (
+    EVENT_LOOP,
+    HW_THREADS,
+    SW_THREADS,
+    RpcServerModel,
+    RpcWorkload,
+)
+from repro.experiments.registry import register
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.service import Exponential, LogNormal
+
+DESIGNS = (HW_THREADS, SW_THREADS, EVENT_LOOP)
+SEGMENTS = 3
+RTT = 15_000
+MEAN_SERVICE = 4_000
+
+
+def _run_cell(design, service, mean_gap: float, requests: int,
+              costs: CostModel, seed: int, horizon: int,
+              cores: int = 1) -> Dict:
+    engine = Engine()
+    server = RpcServerModel(engine, design, costs, cores=cores)
+    RpcWorkload(engine, server, PoissonArrivals(mean_gap), service,
+                RngStreams(seed).stream(f"e09.{design.name}.{mean_gap}"),
+                segments=SEGMENTS, rtt_cycles=RTT, max_requests=requests)
+    engine.run(until=horizon)
+    if server.completed == 0:
+        return {"p50": float("inf"), "p99": float("inf"),
+                "completed": 0, "goodput": 0.0}
+    summary = server.recorder.summary()
+    return {
+        "p50": summary.p50,
+        "p99": summary.p99,
+        "completed": server.completed,
+        "goodput": server.completed / engine.now * 1e6,  # per Mcycle
+    }
+
+
+@register("E09", "RPC servers: hw threads vs sw threads vs event loop",
+          'Section 2, "Simpler Distributed Programming"')
+def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
+    requests = 200 if quick else 1_500
+    loads = (0.4, 0.8) if quick else (0.2, 0.4, 0.6, 0.8, 0.95)
+    costs = CostModel()
+    result = ExperimentResult(
+        "E09", "RPC servers: hw threads vs sw threads vs event loop")
+
+    tax = Table(["design", "per-transition CPU tax (cyc)",
+                 "CPU demand/request (cyc)"],
+                title=f"Transition overhead ({SEGMENTS} segments, "
+                      f"{MEAN_SERVICE}-cycle mean service)")
+    for design in DESIGNS:
+        overhead = design.transition_overhead_cycles(costs)
+        tax.add_row(design.name, overhead,
+                    MEAN_SERVICE + SEGMENTS * overhead)
+    result.add_table(tax)
+
+    service = Exponential(MEAN_SERVICE)
+    load_table = Table(["offered load"]
+                       + [f"{d.name} p99" for d in DESIGNS]
+                       + [f"{d.name} done" for d in DESIGNS],
+                       title=f"p99 latency (cyc) vs offered CPU load "
+                             f"({requests} requests/point)")
+    load_series: Dict[str, Dict[float, Dict]] = {d.name: {} for d in DESIGNS}
+    for load in loads:
+        mean_gap = MEAN_SERVICE / load
+        horizon = int(requests * mean_gap * 6) + 4 * RTT
+        cells = {d.name: _run_cell(d, service, mean_gap, requests, costs,
+                                   seed, horizon)
+                 for d in DESIGNS}
+        for design in DESIGNS:
+            load_series[design.name][load] = cells[design.name]
+        load_table.add_row(load,
+                           *[cells[d.name]["p99"] for d in DESIGNS],
+                           *[cells[d.name]["completed"] for d in DESIGNS])
+    result.add_table(load_table)
+
+    scvs = (1.0, 8.0) if quick else (0.5, 2.0, 8.0, 16.0)
+    var_load = 0.6
+    var_table = Table(["service SCV"] + [f"{d.name} p99" for d in DESIGNS],
+                      title=f"p99 latency vs service variability "
+                            f"(load {var_load})")
+    var_series: Dict[str, Dict[float, Dict]] = {d.name: {} for d in DESIGNS}
+    for scv in scvs:
+        varied = LogNormal(MEAN_SERVICE, scv=scv)
+        mean_gap = MEAN_SERVICE / var_load
+        horizon = int(requests * mean_gap * 6) + 4 * RTT
+        cells = {d.name: _run_cell(d, varied, mean_gap, requests, costs,
+                                   seed + 1, horizon)
+                 for d in DESIGNS}
+        for design in DESIGNS:
+            var_series[design.name][scv] = cells[design.name]
+        var_table.add_row(scv, *[cells[d.name]["p99"] for d in DESIGNS])
+    result.add_table(var_table)
+
+    # scale-out: the blocking thread-per-request model extends to
+    # multiple cores by just having more hardware threads runnable --
+    # "the scheduler ... will manage the mapping of threads to cores"
+    core_counts = (1, 2) if quick else (1, 2, 4)
+    overload = 1.6  # offered load beyond one core's capacity
+    scale_table = Table(["cores", "p99 (cyc)", "completed"],
+                        title=f"hw-threads at offered load {overload} of "
+                              f"one core")
+    scale_series = {}
+    for cores in core_counts:
+        mean_gap = MEAN_SERVICE / overload
+        horizon = int(requests * mean_gap * 8) + 4 * RTT
+        cell = _run_cell(HW_THREADS, service, mean_gap, requests, costs,
+                         seed + 2, horizon, cores=cores)
+        scale_series[cores] = cell
+        scale_table.add_row(cores, cell["p99"], cell["completed"])
+    result.add_table(scale_table)
+
+    result.data["load_series"] = load_series
+    result.data["var_series"] = var_series
+    result.data["scale_series"] = scale_series
+
+    top = loads[-1]
+    sw_slower = (load_series["sw-threads"][top]["p99"]
+                 > 2 * load_series["hw-threads"][top]["p99"]
+                 or load_series["sw-threads"][top]["completed"]
+                 < load_series["hw-threads"][top]["completed"])
+    result.add_claim(
+        "software-thread multiplexing is expensive at load",
+        "multiplexing a large number of software threads onto a small "
+        "number of hardware threads is expensive",
+        f"p99 at load {top}: sw "
+        f"{load_series['sw-threads'][top]['p99']:.0f} vs hw "
+        f"{load_series['hw-threads'][top]['p99']:.0f} cycles",
+        Verdict.SUPPORTED if sw_slower else Verdict.PARTIAL)
+    # compared below the saturation knee: at rho -> 1 with SCV = 1, PS
+    # mathematically has a heavier tail than FCFS (a queueing fact, not
+    # a scheduling-overhead effect; claim 3 covers where PS pays off)
+    stable_loads = [ld for ld in loads if ld <= 0.8]
+    hw_matches_eventloop = all(
+        load_series["hw-threads"][ld]["p99"]
+        <= 2.0 * load_series["event-loop"][ld]["p99"]
+        and load_series["hw-threads"][ld]["completed"]
+        == load_series["event-loop"][ld]["completed"]
+        for ld in stable_loads)
+    result.add_claim(
+        "blocking threads match the event-based model's performance",
+        "use simple blocking I/O semantics without suffering from "
+        "significant thread scheduling overheads",
+        f"equal throughput and p99 within 2x of the event loop at loads "
+        f"<= 0.8 (checked: {stable_loads})",
+        Verdict.SUPPORTED if hw_matches_eventloop else Verdict.PARTIAL)
+    high_scv = scvs[-1]
+    hol = (var_series["event-loop"][high_scv]["p99"]
+           > var_series["hw-threads"][high_scv]["p99"])
+    many = core_counts[-1]
+    scales = (scale_series[many]["p99"] < scale_series[1]["p99"]
+              or scale_series[many]["completed"]
+              > scale_series[1]["completed"])
+    result.add_claim(
+        "thread-per-request scales out by adding cores, no code change",
+        "manage the mapping of threads to cores in order to improve "
+        "locality",
+        f"p99 at {overload}x one-core load: {scale_series[1]['p99']:.0f} "
+        f"(1 core) -> {scale_series[many]['p99']:.0f} ({many} cores)",
+        Verdict.SUPPORTED if scales else Verdict.PARTIAL)
+    result.add_claim(
+        "under high variability the event loop suffers head-of-line "
+        "blocking that PS-scheduled threads avoid",
+        "PS scheduling with thread-per-request ... superior performance "
+        "for server workloads with high execution-time variability",
+        f"p99 at SCV {high_scv}: event-loop "
+        f"{var_series['event-loop'][high_scv]['p99']:.0f} vs hw "
+        f"{var_series['hw-threads'][high_scv]['p99']:.0f} cycles",
+        Verdict.SUPPORTED if hol else Verdict.PARTIAL)
+    return result

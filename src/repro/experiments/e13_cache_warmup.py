@@ -1,0 +1,181 @@
+"""E13: "Managing Non-register State" -- caches after a wakeup.
+
+Section 4 concedes that register state is only part of the cost:
+"Misses in caches and TLBs can lead to significant performance loss and
+even thrashing as numerous hardware threads start and stop", and offers
+two mitigations plus a design rule:
+
+1. **pinning** -- "pin the most critical instructions/data/translations
+   (few KBytes) for performance-sensitive threads in caches" [66];
+2. **prefetching** -- "warm up caches of all types as soon as threads
+   become runnable";
+3. **stay on-chip** -- misses served by L2/L3 are tolerable, "however,
+   L3 misses served by off-chip memory lead to severe performance
+   losses".
+
+The experiment wakes a handler whose working set was evicted by an
+interfering thread and measures the first post-wake working-set
+traversal under each policy, then quantifies the on-chip/off-chip gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import ExperimentResult, Verdict
+from repro.analysis.tables import Table
+from repro.arch.costs import CostModel
+from repro.experiments.registry import register
+from repro.mem.cache import CacheHierarchy
+from repro.mem.tlb import Tlb
+
+HANDLER_SET_BYTES = 4 * 1024      # "few KBytes" of critical state
+INTERFERENCE_BYTES = 32 * 1024 * 1024  # streams through everything
+HANDLER_BASE = 0x100000
+INTERFERENCE_BASE = 0x4000000
+
+
+def _post_wake_walk(policy: str, costs: CostModel) -> Dict:
+    """Cycles for the handler's first working-set pass after a wake."""
+    caches = CacheHierarchy(costs)
+    # handler runs once: its set becomes resident everywhere
+    caches.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+    if policy == "pinned":
+        caches.pin(HANDLER_BASE, HANDLER_SET_BYTES)
+    # handler blocks; other threads stream a large buffer through the
+    # hierarchy, evicting everything unpinned
+    caches.walk_working_set(INTERFERENCE_BASE, INTERFERENCE_BYTES)
+    if policy == "prefetch":
+        # the wake signal triggers a hardware prefetch of the set
+        caches.warm(HANDLER_BASE, HANDLER_SET_BYTES)
+    cycles = caches.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+    return {"cycles": cycles, "stats": caches.stats()}
+
+
+def _hot_reference(costs: CostModel) -> int:
+    """The walk with everything L1-resident (the lower bound)."""
+    caches = CacheHierarchy(costs)
+    caches.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+    return caches.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+
+
+def _tier_walks(costs: CostModel) -> Dict[str, int]:
+    """Working-set pass with the set resident at each depth."""
+    walks = {}
+    # on-chip: resident in L3 only (flush the inner levels)
+    caches = CacheHierarchy(costs)
+    caches.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+    caches.l1.flush()
+    caches.l2.flush()
+    walks["on-chip (L3)"] = caches.walk_working_set(HANDLER_BASE,
+                                                    HANDLER_SET_BYTES)
+    # off-chip: completely cold hierarchy
+    cold = CacheHierarchy(costs)
+    walks["off-chip (DRAM)"] = cold.walk_working_set(HANDLER_BASE,
+                                                     HANDLER_SET_BYTES)
+    return walks
+
+
+def _tlb_post_wake(policy: str) -> int:
+    """Translation cycles for the handler's first post-wake pass."""
+    tlb = Tlb(entries=64, ways=4)
+    tlb.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+    if policy == "pinned":
+        tlb.pin(HANDLER_BASE, HANDLER_SET_BYTES)
+    tlb.walk_working_set(INTERFERENCE_BASE, INTERFERENCE_BYTES,
+                         stride=4096)
+    if policy == "prefetch":
+        tlb.warm(HANDLER_BASE, HANDLER_SET_BYTES)
+    return tlb.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+
+
+def _tlb_hot() -> int:
+    tlb = Tlb(entries=64, ways=4)
+    tlb.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+    return tlb.walk_working_set(HANDLER_BASE, HANDLER_SET_BYTES)
+
+
+@register("E13", "Cache state across wakeups: pinning and prefetch",
+          'Section 4, "Managing Non-register State"')
+def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
+    costs = CostModel()
+    result = ExperimentResult(
+        "E13", "Cache state across wakeups: pinning and prefetch")
+
+    hot = _hot_reference(costs)
+    cells = {policy: _post_wake_walk(policy, costs)
+             for policy in ("none", "prefetch", "pinned")}
+
+    table = Table(["policy", "post-wake walk (cyc)", "vs hot"],
+                  title=f"First {HANDLER_SET_BYTES // 1024} KiB working-set "
+                        f"pass after interference")
+    table.add_row("hot (no interference)", hot, "1.0x")
+    for policy in ("none", "prefetch", "pinned"):
+        cycles = cells[policy]["cycles"]
+        table.add_row(policy, cycles, f"{cycles / hot:.1f}x")
+    result.add_table(table)
+
+    tlb_hot = _tlb_hot()
+    tlb_cells = {p: _tlb_post_wake(p) for p in ("none", "prefetch",
+                                                "pinned")}
+    tlb_table = Table(["policy", "post-wake translations (cyc)", "vs hot"],
+                      title="The TLB half ('caches and TLBs')")
+    tlb_table.add_row("hot (no interference)", tlb_hot, "1.0x")
+    for policy in ("none", "prefetch", "pinned"):
+        tlb_table.add_row(policy, tlb_cells[policy],
+                          f"{tlb_cells[policy] / tlb_hot:.1f}x")
+    result.add_table(tlb_table)
+
+    tiers = _tier_walks(costs)
+    tier_table = Table(["residency", "walk (cyc)", "vs hot"],
+                       title="Where the misses are served matters")
+    for name, cycles in tiers.items():
+        tier_table.add_row(name, cycles, f"{cycles / hot:.1f}x")
+    result.add_table(tier_table)
+
+    result.data["hot"] = hot
+    result.data["cells"] = {p: cells[p]["cycles"] for p in cells}
+    result.data["tiers"] = tiers
+    result.data["tlb_hot"] = tlb_hot
+    result.data["tlb_cells"] = tlb_cells
+
+    cold_penalty = cells["none"]["cycles"] / hot
+    result.add_claim(
+        "wakeup thrashing is real: an evicted working set costs a lot",
+        "Misses in caches and TLBs can lead to significant performance "
+        "loss and even thrashing",
+        f"cold post-wake walk is {cold_penalty:.0f}x the hot pass",
+        Verdict.SUPPORTED if cold_penalty > 5 else Verdict.PARTIAL)
+    prefetch_ok = cells["prefetch"]["cycles"] <= hot * 1.05
+    pinned_ok = cells["pinned"]["cycles"] <= hot * 1.05
+    result.add_claim(
+        "prefetch-on-wake restores hot performance",
+        "prefetching techniques that warm up caches of all types as "
+        "soon as threads become runnable",
+        f"prefetch {cells['prefetch']['cycles']} vs hot {hot} cycles",
+        Verdict.SUPPORTED if prefetch_ok else Verdict.PARTIAL)
+    result.add_claim(
+        "pinning keeps critical state resident through interference",
+        "pin the most critical instructions/data/translations (few "
+        "KBytes) ... [66]",
+        f"pinned {cells['pinned']['cycles']} vs hot {hot} cycles",
+        Verdict.SUPPORTED if pinned_ok else Verdict.PARTIAL)
+    onchip = tiers["on-chip (L3)"]
+    offchip = tiers["off-chip (DRAM)"]
+    tlb_mitigated = (tlb_cells["none"] > 2 * tlb_hot
+                     and tlb_cells["prefetch"] == tlb_hot
+                     and tlb_cells["pinned"] == tlb_hot)
+    result.add_claim(
+        "the TLB thrashes and heals the same way as the caches",
+        "Misses in caches and TLBs ... warm up caches of all types",
+        f"TLB cold pass {tlb_cells['none'] / tlb_hot:.1f}x hot; prefetch "
+        f"and pinning both restore 1.0x",
+        Verdict.SUPPORTED if tlb_mitigated else Verdict.PARTIAL)
+    result.add_claim(
+        "off-chip misses are the severe case; on-chip is tolerable",
+        "L3 misses served by off-chip memory lead to severe "
+        "performance losses",
+        f"off-chip walk {offchip / hot:.0f}x hot vs on-chip "
+        f"{onchip / hot:.0f}x hot",
+        Verdict.SUPPORTED if offchip > 2 * onchip else Verdict.PARTIAL)
+    return result

@@ -1,0 +1,59 @@
+"""Experiment registry.
+
+Modules register themselves at import time; benchmarks, tests, and the
+examples look experiments up by id so there is exactly one definition
+of what (say) E03 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.analysis.report import ExperimentResult
+from repro.errors import ConfigError
+
+RunFn = Callable[..., ExperimentResult]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_anchor: str       # e.g. 'Section 2, "No More Interrupts"'
+    run: RunFn
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.experiment_id}: {self.title} ({self.paper_anchor})"
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_anchor: str):
+    """Decorator: register ``run`` under ``experiment_id``."""
+
+    def decorator(run: RunFn) -> RunFn:
+        if experiment_id in _REGISTRY:
+            raise ConfigError(f"experiment {experiment_id} already registered")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id, title, paper_anchor, run)
+        return run
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment; raises with the known ids on a miss."""
+    experiment = _REGISTRY.get(experiment_id)
+    if experiment is None:
+        raise ConfigError(
+            f"no experiment {experiment_id!r}; known: {sorted(_REGISTRY)}")
+    return experiment
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments, ordered by id."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]

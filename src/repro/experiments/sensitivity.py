@@ -1,0 +1,165 @@
+"""Sensitivity analysis: how robust are the paper's conclusions to the
+cost constants?
+
+Every experiment reads its latencies from one
+:class:`~repro.arch.costs.CostModel`, whose defaults come from the
+paper's own text and citations. A fair question about any behavioral
+reproduction is whether the headline orderings survive if those
+constants are wrong. This module sweeps the disputed constants and
+locates the *break-even points*:
+
+- how cheap would a mode switch have to get before dedicated-ptid
+  syscalls stop paying? (E04's ordering)
+- how expensive may a hardware thread start become before mwait I/O
+  loses to interrupt coalescing? (E03's ordering)
+- how small must the scheduler+switch tax be before scheduler-mediated
+  IPC matches direct start? (E07's ordering)
+
+The answers (the baseline must improve by 1-2 orders of magnitude
+before any conclusion flips) are what make the shape reproduction
+trustworthy despite the low-fidelity substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.analysis.tables import Table
+from repro.arch.costs import CostModel
+from repro.errors import ConfigError
+from repro.microkernel.ipc import DirectStartIpc, SchedulerIpc
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class BreakEven:
+    """Result of a break-even search on one cost constant."""
+
+    constant: str
+    default_value: int
+    break_even_value: Optional[int]   # None = never flips in range
+    searched_range: tuple
+    margin: float                     # default / break-even (safety factor)
+
+
+def _binary_search_flip(lo: int, hi: int,
+                        proposed_wins: Callable[[int], bool]) -> Optional[int]:
+    """Smallest value in [lo, hi] where the proposal still wins.
+
+    ``proposed_wins(v)`` must be monotone in ``v`` (the constant is a
+    baseline cost: the bigger it is, the better the proposal looks).
+    Returns None when the proposal wins even at ``lo``.
+    """
+    if proposed_wins(lo):
+        return None
+    if not proposed_wins(hi):
+        raise ConfigError(
+            f"proposal never wins in [{lo}, {hi}]; widen the range")
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if proposed_wins(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def syscall_break_even(costs: Optional[CostModel] = None) -> BreakEven:
+    """How cheap must the mode switch get before sync syscalls match
+    the dedicated-ptid path?"""
+    base = costs or CostModel()
+    hw_overhead = (base.rpull_rpush_cycles + base.hw_start_rf_cycles
+                   + base.monitor_wakeup_cycles)
+
+    def proposed_wins(mode_switch: int) -> bool:
+        return hw_overhead < base.scaled(
+            mode_switch_cycles=mode_switch).syscall_sync_cycles()
+
+    flip = _binary_search_flip(1, base.mode_switch_cycles, proposed_wins)
+    return BreakEven(
+        constant="mode_switch_cycles",
+        default_value=base.mode_switch_cycles,
+        break_even_value=flip,
+        searched_range=(1, base.mode_switch_cycles),
+        margin=(base.mode_switch_cycles / flip) if flip else float("inf"),
+    )
+
+
+def io_wakeup_break_even(costs: Optional[CostModel] = None) -> BreakEven:
+    """How expensive may an RF ptid start get before the mwait wakeup
+    stops beating the interrupt chain?"""
+    base = costs or CostModel()
+    idt_chain = base.baseline_io_wakeup_cycles()
+
+    def proposal_loses(hw_start: int) -> bool:
+        return base.scaled(
+            hw_start_rf_cycles=hw_start).hw_wakeup_cycles("rf") >= idt_chain
+
+    # invert the search: find the largest start cost that still wins
+    lo, hi = base.hw_start_rf_cycles, idt_chain * 2
+    if proposal_loses(lo):
+        flip = lo
+    else:
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if proposal_loses(mid):
+                hi = mid
+            else:
+                lo = mid
+        flip = hi
+    return BreakEven(
+        constant="hw_start_rf_cycles",
+        default_value=base.hw_start_rf_cycles,
+        break_even_value=flip,
+        searched_range=(base.hw_start_rf_cycles, idt_chain * 2),
+        margin=flip / base.hw_start_rf_cycles,
+    )
+
+
+def ipc_break_even(costs: Optional[CostModel] = None) -> BreakEven:
+    """How small must the scheduler pass get before scheduler IPC
+    matches direct start on a null call?"""
+    base = costs or CostModel()
+    engine = Engine()
+    direct_rtt = DirectStartIpc(engine, base).rtt_cycles(0)
+
+    def proposed_wins(scheduler: int) -> bool:
+        scaled = base.scaled(scheduler_cycles=scheduler,
+                             sw_switch_cycles=0,
+                             cache_pollution_cycles=0,
+                             mode_switch_cycles=0)
+        return SchedulerIpc(Engine(), scaled).rtt_cycles(0) > direct_rtt
+
+    flip = _binary_search_flip(0, base.scheduler_cycles, proposed_wins)
+    return BreakEven(
+        constant="scheduler_cycles (all other IPC taxes zeroed)",
+        default_value=base.scheduler_cycles,
+        break_even_value=flip,
+        searched_range=(0, base.scheduler_cycles),
+        margin=(base.scheduler_cycles / flip) if flip else float("inf"),
+    )
+
+
+def run_sensitivity(costs: Optional[CostModel] = None) -> List[BreakEven]:
+    """All break-even searches."""
+    return [
+        syscall_break_even(costs),
+        io_wakeup_break_even(costs),
+        ipc_break_even(costs),
+    ]
+
+
+def sensitivity_table(results: Optional[List[BreakEven]] = None) -> Table:
+    """The searches rendered as a printable table."""
+    results = results if results is not None else run_sensitivity()
+    table = Table(["constant", "paper default", "break-even",
+                   "safety margin"],
+                  title="Cost-model sensitivity: where the conclusions flip")
+    for record in results:
+        table.add_row(record.constant, record.default_value,
+                      record.break_even_value
+                      if record.break_even_value is not None else "never",
+                      f"{record.margin:.1f}x"
+                      if record.margin != float("inf") else "inf")
+    return table

@@ -1,0 +1,612 @@
+"""The proposed CPU core: many ptids multiplexed onto a few SMT slots.
+
+Execution model
+---------------
+The core is one simulation process. Each *issue round* it picks up to
+``smt_width`` issueable ptids (runnable, not mid-instruction) via the
+issue policy, executes one instruction for each, and advances one
+cycle. A multi-cycle instruction makes its thread busy until the cost
+elapses while other ptids keep issuing -- fine-grain interleaving, the
+paper's "emulates processor sharing". When no ptid is runnable the core
+blocks on a wake signal (there is no idle loop and no timer tick: the
+whole point of the design).
+
+Thread management instructions resolve vtids through the caller's TDT
+(its ``tdtr`` register names the memory-resident table) with a
+TDT cache that only ``invtid`` invalidates. Supervisor-mode ptids with
+``tdtr == 0`` address ptids directly -- the boot convention, before any
+table exists.
+
+Exceptions never unwind the simulator: they write a descriptor at the
+faulting ptid's ``edp`` and disable it (see :mod:`repro.hw.exceptions`).
+A fault in a ptid with ``edp == 0`` is the paper's triple-fault
+analogue and halts the core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.arch.costs import CostModel
+from repro.arch.registers import RegisterClass
+from repro.errors import ConfigError, GuestFault, IsaError, TripleFault
+from repro.hw.exceptions import ExceptionDescriptor, ExceptionKind
+from repro.hw.issue import RoundRobinIssue
+from repro.hw.keys import KeyRegistry
+from repro.hw.monitor import MonitorUnit
+from repro.hw.ptid import HardwareThread, PtidState
+from repro.hw.storage import ThreadStateStore
+from repro.hw.tdt import Permission, TdtCache, TdtEntry
+from repro.isa.instructions import Instruction, Label, Reg
+from repro.isa.program import Program
+from repro.mem.memory import Memory
+from repro.sim.process import Signal
+
+#: Register that carries the presented secret key in the key security model.
+KEY_REGISTER = "r15"
+
+
+class HWCore:
+    """A physical core with ``num_ptids`` software-managed hardware threads."""
+
+    def __init__(self, engine: Any, memory: Memory, core_id: int = 0,
+                 num_ptids: int = 64, smt_width: int = 2,
+                 costs: Optional[CostModel] = None,
+                 issue_policy: Optional[Any] = None,
+                 storage: Optional[ThreadStateStore] = None,
+                 security_model: str = "tdt",
+                 tracer: Optional[Any] = None):
+        if num_ptids < 1:
+            raise ConfigError(f"core needs at least one ptid, got {num_ptids}")
+        if smt_width < 1:
+            raise ConfigError(f"smt_width must be >= 1, got {smt_width}")
+        if security_model not in ("tdt", "keys"):
+            raise ConfigError(f"unknown security model {security_model!r}")
+        self.engine = engine
+        self.memory = memory
+        self.core_id = core_id
+        self.smt_width = smt_width
+        self.costs = costs or CostModel()
+        self.issue_policy = issue_policy or RoundRobinIssue()
+        self.storage = storage or ThreadStateStore(self.costs)
+        self.security_model = security_model
+        self.tracer = tracer
+        self.tdt_cache = TdtCache(self.costs)
+        self.keys = KeyRegistry()
+        self.threads: List[HardwareThread] = []
+        for ptid in range(num_ptids):
+            thread = HardwareThread(ptid, self)
+            thread_monitor = MonitorUnit(memory.watch_bus, owner=(core_id, ptid))
+            thread_monitor.on_wakeup = self._make_wakeup(thread)
+            thread.monitor = thread_monitor  # type: ignore[attr-defined]
+            self.threads.append(thread)
+            self.storage.register(ptid)
+        self.halted = False
+        self.halt_reason: Optional[str] = None
+        self._wake = Signal(f"core{core_id}-wake")
+        self.issue_rounds = 0
+        self.instructions_retired = 0
+        self.idle_cycles = 0
+        self.process = engine.spawn(self._run(), name=f"core{core_id}")
+
+    # ==================================================================
+    # public API (used by Machine, kernels, and tests)
+    # ==================================================================
+    def thread(self, ptid: int) -> HardwareThread:
+        if not 0 <= ptid < len(self.threads):
+            raise ConfigError(f"ptid {ptid} out of range on core {self.core_id}")
+        return self.threads[ptid]
+
+    def load_program(self, ptid: int, program: Program, pc: int = 0,
+                     supervisor: Optional[bool] = None,
+                     edp: Optional[int] = None,
+                     tdtr: Optional[int] = None) -> HardwareThread:
+        """Bind a program to a ptid (setup-time; no cycle cost)."""
+        thread = self.thread(ptid)
+        thread.program = program
+        thread.finished = False
+        thread.arch.pc = pc
+        if supervisor is not None:
+            thread.arch.priv = 1 if supervisor else 0
+        if edp is not None:
+            thread.arch.edp = edp
+        if tdtr is not None:
+            thread.arch.tdtr = tdtr
+        return thread
+
+    def boot(self, ptid: int) -> None:
+        """Make a ptid runnable at setup time, free of charge."""
+        thread = self.thread(ptid)
+        thread.finished = False
+        thread.make_runnable()
+        self._note_enqueue(thread)
+        self._wake.fire()
+
+    def api_start(self, ptid: int, charge: bool = True) -> int:
+        """Software-visible start from outside guest code (device driver
+        or behavioral kernel). Returns the modeled start latency."""
+        thread = self.thread(ptid)
+        latency = 0
+        if thread.state is PtidState.DISABLED:
+            if charge:
+                latency = self.storage.start_latency(ptid, self._idle_ptids())
+                thread.busy_until = max(thread.busy_until,
+                                        self.engine.now + latency)
+            thread.finished = False
+            thread.make_runnable(reason="restart")
+            thread.starts += 1
+            self._note_enqueue(thread)
+            self._wake.fire()
+        return latency
+
+    def api_stop(self, ptid: int) -> None:
+        thread = self.thread(ptid)
+        thread.monitor.cancel()
+        thread.make_disabled()
+        thread.stops += 1
+
+    def set_priority(self, ptid: int, priority: int) -> None:
+        if priority < 1:
+            raise ConfigError(f"priority must be >= 1, got {priority}")
+        self.thread(ptid).priority = priority
+
+    def runnable_count(self) -> int:
+        return sum(1 for t in self.threads if t.runnable)
+
+    def idle(self) -> bool:
+        return self.runnable_count() == 0
+
+    def check(self) -> None:
+        """Raise if the core triple-faulted (call after a run)."""
+        if self.halted:
+            raise TripleFault(self.halt_reason or "core halted")
+
+    # ==================================================================
+    # the issue loop
+    # ==================================================================
+    def _run(self):
+        engine = self.engine
+        while not self.halted:
+            runnable = [t for t in self.threads if t.runnable]
+            if not runnable:
+                idle_from = engine.now
+                yield self._wake
+                self.idle_cycles += engine.now - idle_from
+                continue
+            now = engine.now
+            issueable = [t for t in runnable if t.busy_until <= now]
+            if not issueable:
+                next_free = min(t.busy_until for t in runnable)
+                yield next_free - now
+                continue
+            picked = self.issue_policy.select(issueable, self.smt_width)
+            self.issue_rounds += 1
+            for thread in picked:
+                self._issue_one(thread)
+            yield 1
+
+    def _issue_one(self, thread: HardwareThread) -> None:
+        cost = 0
+        if thread.work_remaining > 0:
+            # mid-`work`: burn one issue-slot cycle (true processor
+            # sharing -- two work-heavy threads on one slot take 2x)
+            thread.work_remaining -= 1
+            thread.busy_until = self.engine.now + 1
+            thread.cycles_busy += 1
+            self.storage.touch(thread.ptid)
+            return
+        if thread.program is None:
+            self._halt_thread(thread)
+            return
+        try:
+            instruction = thread.program.fetch(thread.arch.pc)
+        except IsaError:
+            # running off the end of the program is an implicit halt
+            self._halt_thread(thread)
+            return
+        thread.arch.pc += 1
+        cost += self._execute(thread, instruction)
+        cost = max(cost, 1)
+        thread.busy_until = self.engine.now + cost
+        thread.last_issue_time = self.engine.now
+        thread.instructions_executed += 1
+        thread.cycles_busy += cost
+        self.instructions_retired += 1
+        self.storage.touch(thread.ptid)
+        if self.tracer is not None:
+            self.tracer.emit("issue", f"core{self.core_id} ptid{thread.ptid}"
+                             f" {instruction}", cost=cost)
+
+    # ==================================================================
+    # instruction semantics
+    # ==================================================================
+    def _execute(self, thread: HardwareThread, instruction: Instruction) -> int:
+        handler = self._DISPATCH.get(instruction.op)
+        if handler is None:  # pragma: no cover - OPS and dispatch are in sync
+            self._raise_exception(thread, ExceptionKind.ILLEGAL_INSTRUCTION)
+            return instruction.spec.latency
+        try:
+            extra = handler(self, thread, instruction.operands)
+        except GuestFault as fault:
+            self._raise_exception(
+                thread, ExceptionKind.from_guest_fault_kind(fault.kind),
+                address=fault.faulting_address)
+            return instruction.spec.latency
+        return instruction.spec.latency + (extra or 0)
+
+    # --- operand helpers ------------------------------------------------
+    @staticmethod
+    def _reg(thread: HardwareThread, operand: Reg) -> int:
+        return thread.arch.read(operand.name)
+
+    @staticmethod
+    def _value(thread: HardwareThread, operand) -> int:
+        """Value of an R-or-I operand."""
+        if isinstance(operand, Reg):
+            return thread.arch.read(operand.name)
+        return operand.value
+
+    @staticmethod
+    def _target(thread: HardwareThread, operand) -> int:
+        """Branch target: label resolved through the thread's program."""
+        if isinstance(operand, Label):
+            return thread.program.resolve(operand.name)
+        return operand.value
+
+    # --- base ALU ---------------------------------------------------------
+    def _op_nop(self, thread, ops):
+        return 0
+
+    def _op_movi(self, thread, ops):
+        thread.arch.write(ops[0].name, ops[1].value)
+        return 0
+
+    def _op_mov(self, thread, ops):
+        thread.arch.write(ops[0].name, self._reg(thread, ops[1]))
+        return 0
+
+    def _binop(self, thread, ops, fn) -> int:
+        thread.arch.write(ops[0].name,
+                          fn(self._reg(thread, ops[1]), self._reg(thread, ops[2])))
+        return 0
+
+    def _op_add(self, thread, ops):
+        return self._binop(thread, ops, lambda a, b: a + b)
+
+    def _op_sub(self, thread, ops):
+        return self._binop(thread, ops, lambda a, b: a - b)
+
+    def _op_mul(self, thread, ops):
+        return self._binop(thread, ops, lambda a, b: a * b)
+
+    def _op_div(self, thread, ops):
+        divisor = self._reg(thread, ops[2])
+        if divisor == 0:
+            self._raise_exception(thread, ExceptionKind.DIV_ZERO)
+            return 0
+        return self._binop(thread, ops, lambda a, b: a // b)
+
+    def _op_and_(self, thread, ops):
+        return self._binop(thread, ops, lambda a, b: a & b)
+
+    def _op_or_(self, thread, ops):
+        return self._binop(thread, ops, lambda a, b: a | b)
+
+    def _op_xor(self, thread, ops):
+        return self._binop(thread, ops, lambda a, b: a ^ b)
+
+    def _op_addi(self, thread, ops):
+        thread.arch.write(ops[0].name, self._reg(thread, ops[1]) + ops[2].value)
+        return 0
+
+    def _op_shl(self, thread, ops):
+        thread.arch.write(ops[0].name, self._reg(thread, ops[1]) << ops[2].value)
+        return 0
+
+    def _op_shr(self, thread, ops):
+        thread.arch.write(ops[0].name, self._reg(thread, ops[1]) >> ops[2].value)
+        return 0
+
+    # --- memory -----------------------------------------------------------
+    def _op_ld(self, thread, ops):
+        addr = self._reg(thread, ops[1]) + ops[2].value
+        thread.arch.write(ops[0].name, self.memory.load(addr))
+        return self.costs.l1_hit_cycles
+
+    def _op_st(self, thread, ops):
+        addr = self._reg(thread, ops[0]) + ops[1].value
+        self.memory.store(addr, self._reg(thread, ops[2]),
+                          source=f"cpu:core{self.core_id}.ptid{thread.ptid}")
+        return self.costs.l1_hit_cycles
+
+    def _op_faa(self, thread, ops):
+        addr = self._reg(thread, ops[1])
+        new = self.memory.fetch_add(
+            addr, ops[2].value,
+            source=f"cpu:core{self.core_id}.ptid{thread.ptid}")
+        thread.arch.write(ops[0].name, new)
+        return self.costs.l1_hit_cycles
+
+    # --- control flow -------------------------------------------------------
+    def _op_jmp(self, thread, ops):
+        thread.arch.pc = self._target(thread, ops[0])
+        return 0
+
+    def _branch(self, thread, ops, cond) -> int:
+        if cond(self._reg(thread, ops[0]), self._reg(thread, ops[1])):
+            thread.arch.pc = self._target(thread, ops[2])
+        return 0
+
+    def _op_beq(self, thread, ops):
+        return self._branch(thread, ops, lambda a, b: a == b)
+
+    def _op_bne(self, thread, ops):
+        return self._branch(thread, ops, lambda a, b: a != b)
+
+    def _op_blt(self, thread, ops):
+        return self._branch(thread, ops, lambda a, b: a < b)
+
+    def _op_bge(self, thread, ops):
+        return self._branch(thread, ops, lambda a, b: a >= b)
+
+    def _op_jal(self, thread, ops):
+        thread.arch.write(ops[0].name, thread.arch.pc)  # already advanced
+        thread.arch.pc = self._target(thread, ops[1])
+        return 0
+
+    def _op_jr(self, thread, ops):
+        thread.arch.pc = self._reg(thread, ops[0])
+        return 0
+
+    def _op_halt(self, thread, ops):
+        self._halt_thread(thread)
+        return 0
+
+    # --- modeling pseudo-ops ---------------------------------------------
+    def _op_work(self, thread, ops):
+        # the first cycle issues now; the remainder occupy the thread's
+        # issue slot on subsequent rounds (see _issue_one)
+        thread.work_remaining = max(ops[0].value - 1, 0)
+        return 0
+
+    def _op_fwork(self, thread, ops):
+        thread.arch.vector_dirty = True
+        thread.work_remaining = max(ops[0].value - 1, 0)
+        return 0
+
+    def _op_vmovi(self, thread, ops):
+        thread.arch.write(ops[0].name, ops[1].value)
+        return 0
+
+    def _op_vadd(self, thread, ops):
+        return self._binop(thread, ops, lambda a, b: a + b)
+
+    # --- monitor / mwait ---------------------------------------------------
+    def _op_monitor(self, thread, ops):
+        thread.monitor.arm(self._reg(thread, ops[0]))
+        return 0
+
+    def _op_mwait(self, thread, ops):
+        if thread.monitor.wait():
+            thread.make_waiting()
+        return 0
+
+    # --- thread management -------------------------------------------------
+    def _op_start(self, thread, ops):
+        target, extra = self._authorize(thread, ops[0], Permission.START)
+        if target.state is PtidState.DISABLED:
+            # the started thread cannot issue until its state is refilled
+            # (pipeline depth for RF-resident contexts, bulk transfer
+            # from L2/L3 otherwise); the *caller* keeps running
+            latency = self.storage.start_latency(target.ptid, self._idle_ptids())
+            target.busy_until = max(target.busy_until, self.engine.now + latency)
+            target.finished = False
+            target.make_runnable(reason="restart")
+            target.starts += 1
+            self._note_enqueue(target)
+            self._wake.fire()
+        return extra
+
+    def _op_stop(self, thread, ops):
+        target, extra = self._authorize(thread, ops[0], Permission.STOP)
+        target.monitor.cancel()
+        target.make_disabled()
+        target.stops += 1
+        return extra + self.costs.hw_stop_cycles
+
+    def _op_rpull(self, thread, ops):
+        target, extra = self._authorize_register(
+            thread, ops[0], ops[2].name, write=False)
+        if target.state is not PtidState.DISABLED:
+            raise GuestFault("thread-state-fault",
+                             f"rpull target ptid {target.ptid} not disabled")
+        thread.arch.write(ops[1].name, target.arch.read(ops[2].name))
+        return extra + self.costs.rpull_rpush_cycles
+
+    def _op_rpush(self, thread, ops):
+        target, extra = self._authorize_register(
+            thread, ops[0], ops[1].name, write=True)
+        if target.state is not PtidState.DISABLED:
+            raise GuestFault("thread-state-fault",
+                             f"rpush target ptid {target.ptid} not disabled")
+        target.arch.write(ops[1].name, self._reg(thread, ops[2]))
+        return extra + self.costs.rpull_rpush_cycles
+
+    def _op_invtid(self, thread, ops):
+        target, extra = self._resolve(thread, self._value(thread, ops[0]))
+        remote_vtid = self._value(thread, ops[1])
+        self.tdt_cache.invalidate(target.arch.tdtr, remote_vtid)
+        return extra
+
+    # --- exceptions & security ---------------------------------------------
+    def _op_trap(self, thread, ops):
+        self._raise_exception(thread, ExceptionKind.SYSCALL,
+                              address=ops[0].value)
+        return 0
+
+    def _op_privop(self, thread, ops):
+        if not thread.supervisor:
+            self._raise_exception(thread, ExceptionKind.PRIVILEGE_FAULT,
+                                  address=ops[0].value)
+        return 0
+
+    def _op_csrr(self, thread, ops):
+        name = ops[1].name
+        if (thread.arch.register_class(name) is RegisterClass.PRIVILEGED
+                and not thread.supervisor):
+            self._raise_exception(thread, ExceptionKind.PRIVILEGE_FAULT)
+            return 0
+        thread.arch.write(ops[0].name, thread.arch.read(name))
+        return 0
+
+    def _op_csrw(self, thread, ops):
+        name = ops[0].name
+        if (thread.arch.register_class(name) is RegisterClass.PRIVILEGED
+                and not thread.supervisor):
+            self._raise_exception(thread, ExceptionKind.PRIVILEGE_FAULT)
+            return 0
+        thread.arch.write(name, self._reg(thread, ops[1]))
+        return 0
+
+    def _op_setkey(self, thread, ops):
+        self.keys.set_key(thread.ptid, self._reg(thread, ops[0]))
+        return 0
+
+    _DISPATCH: Dict[str, Callable] = {}
+
+    # ==================================================================
+    # vtid resolution and permission checks
+    # ==================================================================
+    def _resolve(self, thread: HardwareThread,
+                 vtid: int) -> Tuple[HardwareThread, int]:
+        """vtid -> hardware thread, via the caller's TDT (or the boot
+        direct map for supervisors with no TDT). Returns (thread, cycles)."""
+        base = thread.arch.tdtr
+        if base == 0:
+            if thread.supervisor:
+                if not 0 <= vtid < len(self.threads):
+                    raise GuestFault("permission-fault",
+                                     f"direct ptid {vtid} out of range")
+                return self.threads[vtid], 0
+            raise GuestFault("permission-fault",
+                             f"ptid {thread.ptid} has no TDT")
+        entry, cycles = self.tdt_cache.lookup(self.memory, base, vtid)
+        if (not entry.valid and not thread.supervisor
+                and self.security_model == "tdt"):
+            # Table 1: the all-zero-permission row is "(invalid)".
+            # Supervisors bypass permission bits, so for them the ptid
+            # mapping alone suffices. Under the secret-key model the
+            # table is a pure vtid->ptid map; authority comes from the
+            # presented key, checked by the caller.
+            raise GuestFault("permission-fault", f"vtid {vtid} invalid in TDT")
+        if not 0 <= entry.ptid < len(self.threads):
+            raise GuestFault("permission-fault",
+                             f"TDT maps vtid {vtid} to bad ptid {entry.ptid}")
+        target = self.threads[entry.ptid]
+        target._tdt_entry_cache = entry  # type: ignore[attr-defined]
+        return target, cycles
+
+    def _authorize(self, thread: HardwareThread, operand,
+                   needed: Permission) -> Tuple[HardwareThread, int]:
+        """Resolve a vtid operand and check start/stop permission."""
+        vtid = self._value(thread, operand)
+        target, cycles = self._resolve(thread, vtid)
+        if thread.supervisor:
+            return target, cycles
+        if self.security_model == "keys":
+            presented = thread.arch.read(KEY_REGISTER)
+            self.keys.authorize(target.ptid, presented, supervisor=False)
+            return target, cycles
+        entry: TdtEntry = target._tdt_entry_cache  # set by _resolve
+        if not entry.allows(needed):
+            raise GuestFault("permission-fault",
+                             f"vtid {vtid}: permission {needed!r} denied")
+        return target, cycles
+
+    def _authorize_register(self, thread: HardwareThread, operand,
+                            reg_name: str, write: bool) -> Tuple[HardwareThread, int]:
+        """Resolve a vtid operand and check register-access permission."""
+        vtid = self._value(thread, operand)
+        target, cycles = self._resolve(thread, vtid)
+        reg_class = target.arch.register_class(reg_name)
+        if thread.supervisor:
+            return target, cycles
+        if reg_class is RegisterClass.PRIVILEGED:
+            raise GuestFault("permission-fault",
+                             f"register {reg_name} is supervisor-only")
+        if self.security_model == "keys":
+            presented = thread.arch.read(KEY_REGISTER)
+            self.keys.authorize(target.ptid, presented, supervisor=False)
+            return target, cycles
+        entry: TdtEntry = target._tdt_entry_cache
+        if not entry.allows_register(reg_class, write=write):
+            raise GuestFault("permission-fault",
+                             f"vtid {vtid}: register {reg_name} access denied")
+        return target, cycles
+
+    # ==================================================================
+    # exceptions, halts, wakeups
+    # ==================================================================
+    def _raise_exception(self, thread: HardwareThread, kind: ExceptionKind,
+                         address: int = 0) -> None:
+        thread.exceptions_raised += 1
+        faulting_pc = thread.arch.pc - 1  # pc already advanced past the instr
+        edp = thread.arch.edp
+        if edp == 0:
+            self._triple_fault(thread, kind)
+            return
+        descriptor = ExceptionDescriptor.build(
+            kind, thread.ptid, faulting_pc, address, self.engine.now)
+        descriptor.write(self.memory, edp)
+        thread.monitor.cancel()
+        thread.make_disabled()
+        if self.tracer is not None:
+            self.tracer.emit("exception", f"ptid{thread.ptid} {kind.name}",
+                             pc=faulting_pc, address=address)
+
+    def _triple_fault(self, thread: HardwareThread, kind: ExceptionKind) -> None:
+        """Paper: an exception in a thread with no handler 'indicates a
+        serious kernel bug akin to a triple-fault, and can be handled by
+        halting or resetting the CPU'."""
+        self.halted = True
+        self.halt_reason = (f"triple fault: ptid {thread.ptid} raised "
+                            f"{kind.name} with no exception handler (edp=0)")
+        thread.make_disabled()
+        self._wake.fire()
+
+    def _halt_thread(self, thread: HardwareThread) -> None:
+        thread.finished = True
+        thread.monitor.cancel()
+        thread.make_disabled()
+
+    def _note_enqueue(self, thread: HardwareThread) -> None:
+        note = getattr(self.issue_policy, "note_enqueue", None)
+        if note is not None:
+            note(thread)
+
+    def _idle_ptids(self) -> List[int]:
+        """Contexts safe to demote from the register file."""
+        return [t.ptid for t in self.threads if not t.runnable]
+
+    def _make_wakeup(self, thread: HardwareThread):
+        def wakeup(_info: dict) -> None:
+            if thread.state is PtidState.WAITING:
+                thread.make_runnable()
+                thread.wakeups += 1
+                self._note_enqueue(thread)
+                latency = self.storage.start_latency(
+                    thread.ptid, self._idle_ptids())
+                thread.busy_until = max(
+                    thread.busy_until,
+                    self.engine.now + self.costs.monitor_wakeup_cycles + latency)
+                thread.monitor.consume_wakeup()
+                self._wake.fire()
+            # else: the pending flag makes the next mwait fall through
+        return wakeup
+
+
+# Build the dispatch table once, from the _op_* methods.
+HWCore._DISPATCH = {
+    name[4:]: getattr(HWCore, name)
+    for name in dir(HWCore) if name.startswith("_op_")
+}

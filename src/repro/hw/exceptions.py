@@ -1,0 +1,112 @@
+"""Exceptions as data.
+
+Paper, Section 3: "Events such as page faults that trigger exceptions in
+today's CPUs simply write an exception descriptor to memory and disable
+the current ptid. A different ptid monitors the exception descriptor to
+detect and handle the exception."
+
+A descriptor is six words written at the faulting ptid's ``edp``
+(exception descriptor pointer) register:
+
+====  =====================================
+word  contents
+====  =====================================
+0     sequence number (nonzero; doubles as a "descriptor present" flag
+      and lets a handler detect overwrites)
+1     exception kind code
+2     faulting ptid
+3     pc of the faulting instruction
+4     faulting address / trap code
+5     timestamp (cycles)
+====  =====================================
+
+Because the descriptor is written through :meth:`Memory.store`, a
+handler ptid that armed a monitor on the edp line wakes up exactly like
+an I/O thread would -- there is no separate exception-delivery hardware,
+which is the point of the design.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.mem.memory import WORD_BYTES, Memory
+
+#: Words per descriptor.
+DESCRIPTOR_WORDS = 6
+
+_sequence = itertools.count(1)
+
+
+class ExceptionKind(enum.IntEnum):
+    """Exception kinds; codes are stable for descriptor encoding."""
+
+    DIV_ZERO = 1
+    PAGE_FAULT = 2
+    ALIGNMENT_FAULT = 3
+    ILLEGAL_INSTRUCTION = 4
+    PRIVILEGE_FAULT = 5
+    PERMISSION_FAULT = 6      # TDT denied a thread-management op
+    SYSCALL = 7               # voluntary trap to the supervisor
+    THREAD_STATE_FAULT = 8    # rpull/rpush on a non-disabled ptid etc.
+
+    @classmethod
+    def from_guest_fault_kind(cls, kind: str) -> "ExceptionKind":
+        return {
+            "page-fault": cls.PAGE_FAULT,
+            "alignment-fault": cls.ALIGNMENT_FAULT,
+            "permission-fault": cls.PERMISSION_FAULT,
+            "thread-state-fault": cls.THREAD_STATE_FAULT,
+        }.get(kind, cls.ILLEGAL_INSTRUCTION)
+
+
+@dataclass(frozen=True)
+class ExceptionDescriptor:
+    """Decoded view of one descriptor."""
+
+    seq: int
+    kind: ExceptionKind
+    ptid: int
+    pc: int
+    address: int
+    timestamp: int
+
+    def write(self, memory: Memory, edp: int) -> None:
+        """Serialize to memory at ``edp``.
+
+        The sequence word is written *last* so a monitor waiting on the
+        edp line observes a fully formed descriptor: hardware would
+        guarantee this ordering.
+        """
+        memory.store(edp + 1 * WORD_BYTES, int(self.kind), source="hw-exception")
+        memory.store(edp + 2 * WORD_BYTES, self.ptid, source="hw-exception")
+        memory.store(edp + 3 * WORD_BYTES, self.pc, source="hw-exception")
+        memory.store(edp + 4 * WORD_BYTES, self.address, source="hw-exception")
+        memory.store(edp + 5 * WORD_BYTES, self.timestamp, source="hw-exception")
+        memory.store(edp + 0 * WORD_BYTES, self.seq, source="hw-exception")
+
+    @classmethod
+    def read(cls, memory: Memory, edp: int) -> "ExceptionDescriptor":
+        words = memory.load_words(edp, DESCRIPTOR_WORDS)
+        return cls(seq=words[0], kind=ExceptionKind(words[1]), ptid=words[2],
+                   pc=words[3], address=words[4], timestamp=words[5])
+
+    @classmethod
+    def build(cls, kind: ExceptionKind, ptid: int, pc: int, address: int,
+              timestamp: int) -> "ExceptionDescriptor":
+        return cls(seq=next(_sequence), kind=kind, ptid=ptid, pc=pc,
+                   address=address, timestamp=timestamp)
+
+
+def descriptor_present(memory: Memory, edp: int, last_seen_seq: int = 0) -> bool:
+    """Has a new descriptor landed at ``edp`` since ``last_seen_seq``?"""
+    return memory.load(edp) > last_seen_seq
+
+
+def acknowledge(memory: Memory, edp: int) -> ExceptionDescriptor:
+    """Handler-side: read the descriptor and clear the present flag."""
+    descriptor = ExceptionDescriptor.read(memory, edp)
+    memory.store(edp, 0, source="handler-ack")
+    return descriptor

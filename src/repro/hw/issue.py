@@ -1,0 +1,90 @@
+"""SMT issue policies.
+
+Paper, Section 4 ("Support for Thread Scheduling"): "A simple way to
+meet this requirement is to execute runnable hardware threads in a
+fine-grain, round-robin (RR) manner, which emulates processor sharing
+(PS) ... In addition to RR scheduling, we can introduce hardware support
+for thread priorities (e.g., threads used for serving time-sensitive
+interrupts receive more cycles)."
+
+A policy picks, each issue round, up to ``width`` threads out of the
+currently issueable set. Policies are stateful (rotation pointers,
+credit counters) but see only ptids, never programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hw.ptid import HardwareThread
+
+
+class RoundRobinIssue:
+    """Fine-grain RR: rotate through issueable ptids each round."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def note_enqueue(self, thread: HardwareThread) -> None:
+        """A ptid became runnable (wakeup/start). RR has no state to fix."""
+
+    def select(self, issueable: List[HardwareThread], width: int) -> List[HardwareThread]:
+        if not issueable:
+            return []
+        ordered = sorted(issueable, key=lambda t: t.ptid)
+        n = len(ordered)
+        start = self._next % n
+        picked = [ordered[(start + i) % n] for i in range(min(width, n))]
+        self._next = (start + len(picked)) % n
+        return picked
+
+
+class PriorityWeightedIssue:
+    """Virtual-time weighted fair issue: a priority-p thread gets p shares.
+
+    Each pick advances the thread's virtual time by ``1/priority``; the
+    ``width`` lowest-virtual-time threads issue each round. Steady-state
+    issue rates are exactly proportional to priority and no backlogged
+    thread starves (an unserved thread's virtual time never advances, so
+    it is eventually the minimum).
+
+    Re-entry (classic WFQ): a thread that was waiting or disabled keeps
+    a stale, tiny virtual time; replaying it verbatim would let *any*
+    woken thread monopolize the pipeline until its debt "caught up",
+    erasing priority distinctions exactly when they matter (a wakeup
+    into a busy core). The core therefore calls :meth:`note_enqueue`
+    whenever a ptid becomes runnable, which clamps its virtual time to
+    the system virtual time (the minimum among recently served
+    threads) -- from that shared origin, a priority-p thread advances
+    p-times slower and receives p shares.
+    """
+
+    name = "priority-weighted"
+
+    def __init__(self) -> None:
+        self._vtime: Dict[int, float] = {}
+        self._system_vtime = 0.0
+
+    def note_enqueue(self, thread: HardwareThread) -> None:
+        """Clamp a (re)joining ptid to the system virtual time."""
+        current = self._vtime.get(thread.ptid, self._system_vtime)
+        self._vtime[thread.ptid] = max(current, self._system_vtime)
+
+    def select(self, issueable: List[HardwareThread], width: int) -> List[HardwareThread]:
+        if not issueable:
+            return []
+        for thread in issueable:
+            self._vtime.setdefault(thread.ptid, self._system_vtime)
+        ordered = sorted(issueable, key=lambda t: (self._vtime[t.ptid], t.ptid))
+        picked = ordered[:width]
+        for thread in picked:
+            self._vtime[thread.ptid] += 1.0 / max(thread.priority, 1)
+        self._system_vtime = max(self._system_vtime,
+                                 min(self._vtime[t.ptid] for t in issueable))
+        return picked
+
+    def forget(self, ptid: int) -> None:
+        """Drop bookkeeping for a retired ptid."""
+        self._vtime.pop(ptid, None)

@@ -1,0 +1,65 @@
+"""The secret-key alternative to the TDT security model.
+
+Paper, Section 3.2: "An alternative to the TDT could be a secret-key-
+based design. Threads that perform thread management would need to
+provide the target thread's secret key if they are not running in
+privileged mode. Each thread would set its own key and share it with
+other threads using existing software mechanisms."
+
+Implemented so the two models can be compared property-for-property
+(experiment E08 asserts the reachable-permission sets match when keys
+are distributed to exactly the TDT-authorized parties).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import PermissionFault
+
+
+class KeyRegistry:
+    """Per-core map of ptid -> secret key.
+
+    A thread sets its own key (``setkey``); managers authorize
+    operations by presenting the right key. Supervisor-mode callers
+    bypass keys, mirroring the TDT model's supervisor bypass.
+    """
+
+    def __init__(self) -> None:
+        self._keys: Dict[int, int] = {}
+        self.checks = 0
+        self.denials = 0
+
+    def set_key(self, ptid: int, key: int) -> None:
+        """A ptid sets (or rotates) its own key. Key 0 clears it."""
+        if key == 0:
+            self._keys.pop(ptid, None)
+        else:
+            self._keys[ptid] = key
+
+    def has_key(self, ptid: int) -> bool:
+        return ptid in self._keys
+
+    def authorize(self, target_ptid: int, presented_key: Optional[int],
+                  supervisor: bool = False) -> None:
+        """Raise :class:`PermissionFault` unless the operation is allowed.
+
+        Rules: supervisors always pass; a target with no key set is
+        unmanaged (deny for non-supervisors -- fail closed); otherwise
+        the presented key must match.
+        """
+        self.checks += 1
+        if supervisor:
+            return
+        expected = self._keys.get(target_ptid)
+        if expected is None:
+            self.denials += 1
+            raise PermissionFault(
+                f"ptid {target_ptid} has no key set; unprivileged management denied")
+        if presented_key != expected:
+            self.denials += 1
+            raise PermissionFault(f"wrong key for ptid {target_ptid}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<KeyRegistry keys={len(self._keys)} denials={self.denials}>"

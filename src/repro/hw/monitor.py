@@ -1,0 +1,93 @@
+"""The per-ptid monitor unit (generalized monitor/mwait).
+
+Semantics (x86-inspired, per Section 3.1):
+
+- ``monitor <addr>`` arms a watch on the line holding ``addr``; repeated
+  ``monitor`` instructions *accumulate* addresses ("A hardware thread
+  can monitor multiple memory locations").
+- A write to any armed line while the thread is still running sets a
+  *pending* flag, so a subsequent ``mwait`` falls through instead of
+  sleeping -- the classic lost-wakeup race is impossible by
+  construction, exactly as on real x86.
+- ``mwait`` with no pending write puts the ptid in the WAITING state;
+  the next write to an armed line makes it runnable again.
+- A wakeup (or fall-through) consumes the armed set: handlers re-arm
+  each iteration, as real monitor/mwait loops do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.mem.watch import Watch, WatchBus
+
+
+class MonitorUnit:
+    """Monitor/mwait state machine for one hardware thread."""
+
+    def __init__(self, bus: WatchBus, owner: Any = None):
+        self.bus = bus
+        self.owner = owner
+        self._watch: Optional[Watch] = None
+        self.pending = False
+        self.pending_info: Optional[dict] = None
+        self.on_wakeup = None  # callable set by the core
+        self.armed_addresses: List[int] = []
+        self.total_arms = 0
+        self.total_wakeups = 0
+        self.total_fallthroughs = 0
+
+    # ------------------------------------------------------------------
+    def arm(self, addr: int) -> None:
+        """The ``monitor`` instruction: add ``addr`` to the armed set."""
+        if self._watch is None or not self._watch.armed:
+            self._watch = self.bus.watch([], owner=self.owner)
+            self._watch.signal.add_waiter(self._triggered)
+        self._watch.add_address(addr)
+        self.armed_addresses.append(addr)
+        self.total_arms += 1
+
+    def wait(self) -> bool:
+        """The ``mwait`` instruction.
+
+        Returns True if the thread must block (no write since arming),
+        False if a pending write lets it fall through. Either way the
+        armed set stays live until the wakeup consumes it.
+        """
+        if self.pending:
+            self.total_fallthroughs += 1
+            self._consume()
+            return False
+        return self._watch is not None and self._watch.armed
+
+    def cancel(self) -> None:
+        """Disarm (used when the ptid is stopped while waiting)."""
+        self._consume()
+
+    @property
+    def armed(self) -> bool:
+        return self._watch is not None and self._watch.armed
+
+    # ------------------------------------------------------------------
+    def _triggered(self, info: dict) -> None:
+        self.pending = True
+        self.pending_info = info
+        self.total_wakeups += 1
+        callback = self.on_wakeup
+        if callback is not None:
+            callback(info)
+
+    def _consume(self) -> None:
+        self.pending = False
+        self.pending_info = None
+        self.armed_addresses = []
+        if self._watch is not None:
+            self._watch.cancel()
+            self._watch = None
+
+    def consume_wakeup(self) -> Optional[dict]:
+        """Core-side: clear state after waking the thread; returns the
+        triggering write's info dict."""
+        info = self.pending_info
+        self._consume()
+        return info

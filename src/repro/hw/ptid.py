@@ -1,0 +1,87 @@
+"""Hardware threads (ptids) and their three-state machine.
+
+Paper, Section 3: "At any point, a given ptid can be in one of three
+states: runnable, waiting, or disabled. Runnable ptids can execute
+instructions on the CPU core. ... A ptid can voluntarily enter the
+waiting state through ... monitor/mwait ... a disabled ptid does not
+execute instructions until it is restarted by another ptid."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.arch.state import ArchState
+from repro.errors import SimulationError
+
+
+class PtidState(enum.Enum):
+    """The paper's three thread states."""
+
+    RUNNABLE = "runnable"
+    WAITING = "waiting"
+    DISABLED = "disabled"
+
+
+class HardwareThread:
+    """One register-file-resident execution context.
+
+    Fields beyond the architectural state record simulation bookkeeping:
+    which program the ptid runs, where its context currently lives in
+    the storage hierarchy, its issue priority, and statistics.
+    """
+
+    def __init__(self, ptid: int, core: Any, supervisor: bool = False):
+        self.ptid = ptid
+        self.core = core
+        self.state = PtidState.DISABLED
+        self.arch = ArchState(supervisor=supervisor)
+        self.program: Optional[Any] = None  # isa.Program
+        self.priority: int = 1
+        self.key: Optional[int] = None  # secret-key security model
+        self.finished = False           # halted (vs merely stopped)
+        # timing bookkeeping used by the core's issue loop
+        self.busy_until: int = 0      # also delays first issue after a start
+        self.work_remaining: int = 0  # cycles left of a `work` instruction
+        self.last_issue_time: int = 0
+        # statistics
+        self.instructions_executed = 0
+        self.cycles_busy = 0
+        self.wakeups = 0
+        self.starts = 0
+        self.stops = 0
+        self.exceptions_raised = 0
+
+    # ------------------------------------------------------------------
+    # state transitions (invoked by the core; guard invariants here)
+    # ------------------------------------------------------------------
+    def make_runnable(self, reason: str = "") -> None:
+        if self.state is PtidState.RUNNABLE:
+            return
+        if self.finished and reason != "restart":
+            raise SimulationError(
+                f"ptid {self.ptid} halted; restart it explicitly")
+        self.state = PtidState.RUNNABLE
+
+    def make_waiting(self) -> None:
+        if self.state is not PtidState.RUNNABLE:
+            raise SimulationError(
+                f"ptid {self.ptid} cannot wait from state {self.state}")
+        self.state = PtidState.WAITING
+
+    def make_disabled(self) -> None:
+        self.state = PtidState.DISABLED
+
+    # ------------------------------------------------------------------
+    @property
+    def runnable(self) -> bool:
+        return self.state is PtidState.RUNNABLE
+
+    @property
+    def supervisor(self) -> bool:
+        return self.arch.supervisor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ptid {self.ptid} {self.state.value} pc={self.arch.pc}"
+                f" prio={self.priority}>")

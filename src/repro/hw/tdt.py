@@ -1,0 +1,161 @@
+"""The Thread Descriptor Table (TDT).
+
+Paper, Section 3.2: "One particularly important privileged register is
+the thread descriptor table pointer, or TDT, which maps vtids to ptids
+and permissions. ... The 4 permission bits allow the caller to start -
+stop - modify some registers - modify most registers of the callee."
+
+The table is memory-resident (two words per entry: ptid, permissions)
+and cores cache translations; "Any update to a ptid's TDT must be
+followed by an invtid. Requiring explicit invalidation facilitates
+hardware caching and virtualization" -- so a stale cache after an
+un-invalidated update is *correct* modeled behavior, and tested.
+
+Permission semantics for register modification (our concretization of
+"some" vs "most"):
+
+- ``MODIFY_SOME``: general-purpose and vector registers.
+- ``MODIFY_MOST``: additionally pc, flags, and edp.
+- ``tdtr`` and ``priv`` are never grantable through the TDT; they
+  require supervisor mode, matching the paper's "A ptid must be in
+  supervisor mode to set this register".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.arch.registers import RegisterClass
+from repro.errors import PermissionFault
+from repro.mem.memory import WORD_BYTES, Memory
+
+#: Words per TDT entry: [ptid, permissions]
+ENTRY_WORDS = 2
+
+
+class Permission(enum.IntFlag):
+    """The 4 permission bits of a TDT entry (Table 1 ordering).
+
+    Table 1's caption reads "start - stop - modify some registers -
+    modify most registers", so in ``0b1000`` the leading bit is START.
+    """
+
+    NONE = 0b0000
+    MODIFY_MOST = 0b0001
+    MODIFY_SOME = 0b0010
+    STOP = 0b0100
+    START = 0b1000
+    ALL = 0b1111
+
+
+@dataclass(frozen=True)
+class TdtEntry:
+    """One decoded TDT entry."""
+
+    vtid: int
+    ptid: int
+    permissions: Permission
+
+    @property
+    def valid(self) -> bool:
+        """Table 1 marks the all-zero-permission row "(invalid)"."""
+        return self.permissions != Permission.NONE
+
+    def allows(self, permission: Permission) -> bool:
+        return bool(self.permissions & permission)
+
+    def allows_register(self, reg_class: RegisterClass, write: bool = True) -> bool:
+        """May the caller access (read via rpull / write via rpush) a
+        register of ``reg_class`` on the callee?"""
+        if reg_class is RegisterClass.PRIVILEGED:
+            return False  # supervisor-only, never via TDT
+        if reg_class in (RegisterClass.GENERAL, RegisterClass.VECTOR):
+            return self.allows(Permission.MODIFY_SOME | Permission.MODIFY_MOST)
+        # pc, flags, control (edp)
+        return self.allows(Permission.MODIFY_MOST)
+
+
+class ThreadDescriptorTable:
+    """Software-side helper for building and editing a memory-resident TDT.
+
+    The *authoritative* copy lives in simulated memory at ``base``;
+    this object is how kernel code (Python-level) writes it. Hardware
+    reads entries via :func:`read_entry` and caches them in
+    :class:`TdtCache`.
+    """
+
+    def __init__(self, memory: Memory, base: int, capacity: int = 64):
+        self.memory = memory
+        self.base = base
+        self.capacity = capacity
+
+    def entry_addr(self, vtid: int) -> int:
+        self._check_vtid(vtid)
+        return self.base + vtid * ENTRY_WORDS * WORD_BYTES
+
+    def set_entry(self, vtid: int, ptid: int, permissions: Permission) -> None:
+        """Write an entry. Callers must still execute invtid to make the
+        update visible through a core's TDT cache."""
+        addr = self.entry_addr(vtid)
+        self.memory.store(addr, ptid)
+        self.memory.store(addr + WORD_BYTES, int(permissions))
+
+    def clear_entry(self, vtid: int) -> None:
+        self.set_entry(vtid, 0, Permission.NONE)
+
+    def get_entry(self, vtid: int) -> TdtEntry:
+        return read_entry(self.memory, self.base, vtid, self.capacity)
+
+    def _check_vtid(self, vtid: int) -> None:
+        if not 0 <= vtid < self.capacity:
+            raise PermissionFault(f"vtid {vtid} out of TDT range")
+
+
+def read_entry(memory: Memory, base: int, vtid: int,
+               capacity: Optional[int] = None) -> TdtEntry:
+    """Hardware walk of the memory-resident table."""
+    if vtid < 0 or (capacity is not None and vtid >= capacity):
+        raise PermissionFault(f"vtid {vtid} out of TDT range")
+    addr = base + vtid * ENTRY_WORDS * WORD_BYTES
+    ptid = memory.load(addr)
+    perms = Permission(memory.load(addr + WORD_BYTES) & 0b1111)
+    return TdtEntry(vtid, ptid, perms)
+
+
+class TdtCache:
+    """The core's translation cache, invalidated only by ``invtid``.
+
+    Keyed by (table base, vtid) so ptids sharing a TDT share cached
+    translations, as hardware would.
+    """
+
+    def __init__(self, costs=None):
+        from repro.arch.costs import CostModel
+        self._entries: Dict[Tuple[int, int], TdtEntry] = {}
+        self.costs = costs or CostModel()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, memory: Memory, base: int, vtid: int) -> Tuple[TdtEntry, int]:
+        """Translate; returns (entry, latency_cycles)."""
+        key = (base, vtid)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry, self.costs.tdt_lookup_cycles
+        self.misses += 1
+        entry = read_entry(memory, base, vtid)
+        self._entries[key] = entry
+        return entry, self.costs.tdt_miss_cycles
+
+    def invalidate(self, base: int, vtid: int) -> bool:
+        """Drop one cached translation. Returns True if it was cached."""
+        return self._entries.pop((base, vtid), None) is not None
+
+    def invalidate_all(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,35 @@
+"""Hypervisor models: VM-exits with and without context switches.
+
+Section 2 makes two claims about virtualization:
+
+1. **"No VM-Exits"** -- instead of "wast[ing] hundreds of nanoseconds
+   context-switching to root-mode in the same hardware thread", an exit
+   "can simply make a specialized root-mode hardware thread runnable".
+   :mod:`repro.hypervisor.exits` implements the three designs the paper
+   contrasts: in-thread root-mode switches (KVM), SplitX-style remote
+   cores, and dedicated hardware threads.
+2. **"Untrusted Hypervisors"** -- the hypervisor can live in an
+   *unprivileged* hardware thread and still be fast, because VM-exits
+   are just stop(guest)+start(hypervisor) and the TDT grants it
+   non-hierarchical control over exactly its guests.
+   :mod:`repro.hypervisor.untrusted` builds that configuration on the
+   ISA-level machine.
+"""
+
+from repro.hypervisor.exits import (
+    ExitReason,
+    GuestVm,
+    HwThreadExitPath,
+    InThreadExitPath,
+    SplitXExitPath,
+)
+from repro.hypervisor.untrusted import UntrustedHypervisorDemo
+
+__all__ = [
+    "ExitReason",
+    "InThreadExitPath",
+    "SplitXExitPath",
+    "HwThreadExitPath",
+    "GuestVm",
+    "UntrustedHypervisorDemo",
+]

@@ -1,0 +1,183 @@
+"""Multiple guests reporting exceptions to one hypervisor ptid.
+
+Section 3.2: "In some cases, multiple ptids will need to report their
+exceptions to the same hypervisor ptid, requiring a software-based
+queuing design."
+
+The queuing design implemented here keeps one exception-descriptor area
+per guest and has the hypervisor monitor *all* of them at once (the ISA
+allows it: "A hardware thread can monitor multiple memory locations").
+On wakeup the hypervisor scans the descriptor slots round-robin,
+services every present descriptor, and re-arms -- so bursts from
+several guests coalesce into one wakeup, and no descriptor is lost
+because each guest stays disabled until its own slot is acknowledged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.hw.tdt import Permission
+from repro.machine import build_machine
+
+_GUEST_ASM = """
+    movi r1, 0
+    movi r2, ITERS
+loop:
+    work GUEST_WORK
+    privop 7
+    addi r1, r1, 1
+    blt r1, r2, loop
+    movi r3, DONE
+    movi r4, 1
+    st r3, 0, r4
+    halt
+"""
+
+# The hypervisor: monitor every guest edp + every done word; on wakeup
+# scan the edp slots, emulate + ack + restart each faulted guest, and
+# exit when every guest has signalled done.
+_HV_PROLOGUE = """
+hv_loop:
+"""
+
+_HV_MONITOR_SLOT = """
+    movi r1, EDP{i}
+    monitor r1
+    movi r1, DONE{i}
+    monitor r1
+"""
+
+_HV_SCAN_SLOT = """
+    movi r1, EDP{i}
+    ld r2, r1, 0
+    beq r2, r0, skip{i}
+    work HANDLER_WORK
+    st r1, 0, r0
+    start {i}
+skip{i}:
+"""
+
+_HV_CHECK_DONE = """
+    movi r4, 0
+"""
+
+_HV_SUM_DONE_SLOT = """
+    movi r1, DONE{i}
+    ld r2, r1, 0
+    add r4, r4, r2
+"""
+
+_HV_EPILOGUE = """
+    movi r5, NGUESTS
+    blt r4, r5, hv_loop
+    halt
+"""
+
+
+def _hv_program(num_guests: int) -> str:
+    parts = [_HV_PROLOGUE]
+    for i in range(num_guests):
+        parts.append(_HV_MONITOR_SLOT.format(i=i))
+    parts.append("    mwait\n")
+    for i in range(num_guests):
+        parts.append(_HV_SCAN_SLOT.format(i=i))
+    parts.append(_HV_CHECK_DONE)
+    for i in range(num_guests):
+        parts.append(_HV_SUM_DONE_SLOT.format(i=i))
+    parts.append(_HV_EPILOGUE)
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class MultiGuestResult:
+    """Outcome of one multi-guest run."""
+
+    guests: int
+    exits_handled_per_guest: List[int]
+    hv_wakeups: int
+    wall_cycles: int
+
+    @property
+    def total_exits(self) -> int:
+        return sum(self.exits_handled_per_guest)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Exits serviced per hypervisor wakeup (>1 = bursts coalesced)."""
+        return self.total_exits / max(self.hv_wakeups, 1)
+
+
+class MultiGuestHypervisor:
+    """N guest ptids, one unprivileged hypervisor ptid, one core."""
+
+    def __init__(self, guests: int = 2, iterations: int = 5,
+                 guest_work_cycles: int = 1_500,
+                 handler_work_cycles: int = 300, **machine_overrides):
+        if guests < 1:
+            raise ConfigError("need at least one guest")
+        if iterations < 1:
+            raise ConfigError("need at least one iteration")
+        self.guests = guests
+        self.iterations = iterations
+        self.guest_work_cycles = guest_work_cycles
+        self.handler_work_cycles = handler_work_cycles
+        overrides = dict(machine_overrides)
+        overrides.setdefault("hw_threads_per_core", max(64, guests + 2))
+        self.machine = build_machine(**overrides)
+        self._build()
+
+    def _build(self) -> None:
+        machine = self.machine
+        self.hv_ptid = self.guests  # guests occupy ptids 0..N-1
+        self.edps = [machine.alloc(f"edp{i}", 64) for i in range(self.guests)]
+        self.dones = [machine.alloc(f"done{i}", 64)
+                      for i in range(self.guests)]
+        tdt = machine.build_tdt(
+            "mg-tdt", {i: (i, Permission.ALL) for i in range(self.guests)})
+        symbols = {
+            "ITERS": self.iterations,
+            "GUEST_WORK": self.guest_work_cycles,
+            "HANDLER_WORK": self.handler_work_cycles,
+            "NGUESTS": self.guests,
+        }
+        for i in range(self.guests):
+            symbols[f"EDP{i}"] = self.edps[i].base
+            symbols[f"DONE{i}"] = self.dones[i].base
+        for i in range(self.guests):
+            machine.load_asm(
+                i, _GUEST_ASM,
+                symbols={**symbols, "DONE": self.dones[i].base},
+                supervisor=False, edp=self.edps[i].base, name=f"guest{i}")
+        machine.load_asm(self.hv_ptid, _hv_program(self.guests),
+                         symbols=symbols, supervisor=False, tdtr=tdt.base,
+                         name="hypervisor")
+
+    def run(self, until: int = 50_000_000) -> MultiGuestResult:
+        machine = self.machine
+        finish = {"at": 0}
+        for done in self.dones:
+            machine.memory.watch_bus.subscribe(
+                done.base,
+                lambda _info: finish.update(at=machine.engine.now),
+                owner="mg-finish")
+        for i in range(self.guests):
+            machine.boot(i)
+        machine.boot(self.hv_ptid)
+        machine.run(until=until)
+        machine.check()
+        unfinished = [i for i in range(self.guests)
+                      if not machine.thread(i).finished]
+        if unfinished:
+            raise ConfigError(
+                f"guests {unfinished} did not finish within {until} cycles")
+        hv = machine.thread(self.hv_ptid)
+        return MultiGuestResult(
+            guests=self.guests,
+            exits_handled_per_guest=[machine.thread(i).starts
+                                     for i in range(self.guests)],
+            hv_wakeups=hv.wakeups,
+            wall_cycles=finish["at"],
+        )

@@ -1,0 +1,189 @@
+"""An untrusted hypervisor, on the ISA-level machine.
+
+Section 2 ("Untrusted Hypervisors"): "With many hardware threads per
+core, a hypervisor could be isolated in its own unprivileged hardware
+thread. VM-exits would stop the virtual machine's hardware thread and
+start the hypervisor's hardware thread. ... Thus, hypervisors still
+provide the same functionality with the same performance without
+privileged access to the kernel or the hardware."
+
+The demo builds exactly that configuration with *no supervisor-mode
+code in the serving path*:
+
+- ptid 0 (guest, user mode): computes, then executes a privileged
+  instruction; the hardware writes an exception descriptor to the
+  guest's ``edp`` and disables the guest.
+- ptid 1 (hypervisor, **user mode**): monitors the guest's edp line,
+  wakes on the descriptor write, emulates the instruction, acknowledges
+  the descriptor, and restarts the guest -- authorized purely by a TDT
+  entry, not by a privilege ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.tdt import Permission
+from repro.machine import Machine, build_machine
+
+GUEST_PTID = 0
+HV_PTID = 1
+
+_GUEST_ASM = """
+    movi r1, 0
+    movi r2, ITERS
+loop:
+    work GUEST_WORK
+    privop 7
+    addi r1, r1, 1
+    blt r1, r2, loop
+    movi r3, DONE
+    movi r4, 1
+    st r3, 0, r4
+    halt
+"""
+
+_HV_ASM = """
+hv_loop:
+    movi r1, EDP
+    monitor r1
+    movi r5, DONE
+    monitor r5
+    mwait
+    ld r6, r5, 0
+    bne r6, r0, hv_done
+    ld r2, r1, 0
+    beq r2, r0, hv_loop
+    work HANDLER_WORK
+    st r1, 0, r0
+    start GUEST_VTID
+    jmp hv_loop
+hv_done:
+    halt
+"""
+
+
+@dataclass(frozen=True)
+class UntrustedHvResult:
+    """What one run of the demo produced."""
+
+    exits_handled: int
+    guest_iterations: int
+    wall_cycles: int
+    guest_work_cycles: int
+    hv_ran_privileged: bool  # always False: the point of the demo
+
+    @property
+    def slowdown(self) -> float:
+        return self.wall_cycles / max(self.guest_work_cycles, 1)
+
+
+class UntrustedHypervisorDemo:
+    """Builds and runs the guest + unprivileged-hypervisor machine."""
+
+    def __init__(self, iterations: int = 10, guest_work_cycles: int = 2_000,
+                 handler_work_cycles: int = 400, **machine_overrides):
+        if iterations < 1:
+            raise ConfigError("need at least one guest iteration")
+        self.iterations = iterations
+        self.guest_work_cycles = guest_work_cycles
+        self.handler_work_cycles = handler_work_cycles
+        self.machine = build_machine(**machine_overrides)
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        machine = self.machine
+        self.edp = machine.alloc("guest-edp", 64)
+        self.done = machine.alloc("guest-done", 64)
+        # The TDT grants the unprivileged hypervisor full control over
+        # the guest: vtid 0 -> guest ptid, all four permission bits.
+        tdt = machine.build_tdt("hv-tdt", {0: (GUEST_PTID, Permission.ALL)})
+        symbols = {
+            "ITERS": self.iterations,
+            "GUEST_WORK": self.guest_work_cycles,
+            "HANDLER_WORK": self.handler_work_cycles,
+            "EDP": self.edp.base,
+            "DONE": self.done.base,
+            "GUEST_VTID": 0,
+        }
+        machine.load_asm(GUEST_PTID, _GUEST_ASM, symbols=symbols,
+                         supervisor=False, edp=self.edp.base, name="guest")
+        machine.load_asm(HV_PTID, _HV_ASM, symbols=symbols,
+                         supervisor=False, tdtr=tdt.base, name="hypervisor")
+
+    # ------------------------------------------------------------------
+    def run(self, until: int = 10_000_000) -> UntrustedHvResult:
+        machine = self.machine
+        finish_time = {"at": 0}
+        done_watch = machine.memory.watch_bus.watch(self.done.base,
+                                                    owner="demo-finish")
+        done_watch.signal.add_waiter(
+            lambda _info: finish_time.update(at=machine.engine.now))
+        machine.boot(GUEST_PTID)
+        machine.boot(HV_PTID)
+        machine.run(until=until)
+        machine.check()
+        guest = machine.thread(GUEST_PTID)
+        hv = machine.thread(HV_PTID)
+        if not guest.finished:
+            raise ConfigError(
+                f"guest did not finish within {until} cycles "
+                f"(iterations={guest.arch.read('r1')})")
+        return UntrustedHvResult(
+            exits_handled=guest.starts,
+            guest_iterations=guest.arch.read("r1"),
+            wall_cycles=finish_time["at"],
+            guest_work_cycles=self.iterations * self.guest_work_cycles,
+            hv_ran_privileged=hv.supervisor,
+        )
+
+
+def run_permission_matrix(**machine_overrides) -> dict:
+    """The non-hierarchical privilege example of Section 3.2.
+
+    "thread B might have permission to stop thread A, and thread C
+    might have permission to stop thread B, but thread C does not
+    necessarily have any permission over thread A. Such a configuration
+    is impossible in existing protection-ring-based designs."
+
+    Returns a dict of outcome booleans: ``b_stopped_a``, ``c_stopped_b``,
+    ``c_stopped_a`` (the last must be False: C faults instead).
+    """
+    machine: Machine = build_machine(**machine_overrides)
+    # ptids: A=0, B=1, C=2. Each stopper uses vtid 0 in its own table.
+    tdt_b = machine.build_tdt("tdt-b", {0: (0, Permission.STOP)})
+    tdt_c = machine.build_tdt("tdt-c", {0: (1, Permission.STOP),
+                                        1: (0, Permission.NONE)})
+    edp_c = machine.alloc("edp-c", 64)
+    # A spins forever; B stops A; C stops B then tries to stop A (vtid 1
+    # in C's table, which is the invalid all-zero-permission row).
+    machine.load_asm(0, "spin:\n    jmp spin", supervisor=False, name="A")
+    machine.load_asm(1, """
+        stop 0
+        halt
+    """, supervisor=False, tdtr=tdt_b.base, name="B")
+    machine.load_asm(2, """
+        work 50
+        stop 0
+        stop 1
+        halt
+    """, supervisor=False, tdtr=tdt_c.base, edp=edp_c.base, name="C")
+    machine.boot(0)
+    machine.boot(1)
+    machine.boot(2)
+    machine.run(until=100_000)
+    machine.check()
+    from repro.hw.exceptions import ExceptionDescriptor, descriptor_present
+    a, b, c = machine.thread(0), machine.thread(1), machine.thread(2)
+    c_faulted = descriptor_present(machine.memory, edp_c.base)
+    fault_kind = (ExceptionDescriptor.read(machine.memory, edp_c.base).kind.name
+                  if c_faulted else None)
+    return {
+        "b_stopped_a": a.stops >= 1 and not a.runnable,
+        "c_stopped_b": b.stops >= 1,
+        "c_stopped_a": a.stops >= 2,
+        "c_faulted": c_faulted,
+        "c_fault_kind": fault_kind,
+    }

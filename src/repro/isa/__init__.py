@@ -1,0 +1,47 @@
+"""Instruction set: a small RISC-like base ISA plus the paper's extensions.
+
+Base instructions cover ALU ops, loads/stores, branches, and two
+modeling pseudo-ops (``work``/``fwork``, which consume cycles like a
+computation of known length). The extensions are exactly the Section 3.1
+proposal:
+
+=====================  ====================================================
+``monitor <addr-reg>``  arm a watch on an address (accumulates; a thread
+                        may monitor several locations)
+``mwait``               block the ptid until a watched write occurs
+``start <vtid>``        enable the ptid mapped to vtid
+``stop <vtid>``         disable the ptid mapped to vtid
+``rpull v, l, rem``     local-reg <- remote ptid's register
+``rpush v, rem, l``     remote ptid's register <- local-reg
+``invtid v, rv``        invalidate a TDT-cache entry after a table update
+=====================  ====================================================
+
+plus ``trap``/``privop``/``csrr``/``csrw``/``setkey``/``halt`` which
+round out the exception and security model. Instructions are kept as
+structured objects; binary encoding is out of scope for a behavioral
+model (documented in DESIGN.md).
+"""
+
+from repro.isa.instructions import (
+    Imm,
+    Instruction,
+    Label,
+    OPS,
+    OpSpec,
+    Reg,
+    RegName,
+)
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+__all__ = [
+    "Imm",
+    "Instruction",
+    "Label",
+    "OPS",
+    "OpSpec",
+    "Program",
+    "Reg",
+    "RegName",
+    "assemble",
+]

@@ -1,0 +1,58 @@
+"""Behavioral kernel models: the baseline world and the proposed world.
+
+The paper's argument is comparative -- interrupts vs mwait-wakeups,
+in-thread syscalls vs dedicated-ptid syscalls, software-thread
+multiplexing vs hardware threads. This package implements both sides of
+each comparison with the *same* event streams and a shared
+:class:`~repro.arch.costs.CostModel`, so every experiment is paired.
+
+- :mod:`repro.kernel.threads` -- software threads and context-switch
+  accounting (the thing the paper wants to eliminate).
+- :mod:`repro.kernel.sched` -- single-server queueing disciplines:
+  FIFO run-to-completion, round-robin with switch costs, and ideal
+  processor sharing (the paper's fine-grain hardware RR).
+- :mod:`repro.kernel.interrupts` -- IDT interrupt delivery vs
+  monitor/mwait dispatch.
+- :mod:`repro.kernel.io` -- the three I/O server designs of Section 2:
+  interrupt-driven, polling, and mwait-based.
+- :mod:`repro.kernel.syscalls` -- synchronous, FlexSC-style
+  asynchronous, and dedicated-hardware-thread system calls.
+"""
+
+from repro.kernel.interrupts import HwThreadDispatch, IdtInterruptPath
+from repro.kernel.io import (
+    InterruptIoServer,
+    IoServerStats,
+    MwaitIoServer,
+    PollingIoServer,
+)
+from repro.kernel.sched import (
+    FifoServer,
+    ProcessorSharingServer,
+    RoundRobinServer,
+)
+from repro.kernel.syscalls import (
+    FlexScPath,
+    HwThreadSyscallPath,
+    SyncSyscallPath,
+    SyscallRunner,
+)
+from repro.kernel.threads import ContextSwitchAccounting, SoftwareThread
+
+__all__ = [
+    "SoftwareThread",
+    "ContextSwitchAccounting",
+    "FifoServer",
+    "RoundRobinServer",
+    "ProcessorSharingServer",
+    "IdtInterruptPath",
+    "HwThreadDispatch",
+    "InterruptIoServer",
+    "PollingIoServer",
+    "MwaitIoServer",
+    "IoServerStats",
+    "SyncSyscallPath",
+    "FlexScPath",
+    "HwThreadSyscallPath",
+    "SyscallRunner",
+]

@@ -1,0 +1,171 @@
+"""The three I/O server designs of Section 2 ("Fast I/O without
+Inefficient Polling").
+
+The paper's triangle:
+
+- interrupt-driven I/O keeps the core free but pays the full wakeup
+  chain per idle-to-busy transition;
+- polling gets minimal delivery latency but "waste[s] one or more
+  cores";
+- mwait-based hardware threads get polling-like latency *and* free
+  cycles for other threads ("letting other threads run until there is
+  I/O activity").
+
+Each server is a single consumer fed by :meth:`deliver` (wired to a NIC
+callback or a tail-word watch by the experiment driver). Latency is
+measured from delivery to service completion; ``wasted_cycles`` counts
+cycles the design burned without doing useful work (spin cycles for
+polling, delivery overhead for interrupts, wakeup cost for mwait).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.analysis.stats import LatencyRecorder
+from repro.arch.costs import CostModel
+from repro.errors import ConfigError
+from repro.sim.engine import Engine
+from repro.sim.process import Signal
+
+
+@dataclass(frozen=True)
+class IoServerStats:
+    """End-of-run report for one I/O server."""
+
+    completed: int
+    wakeups: int
+    busy_cycles: int
+    wasted_cycles: int
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+
+
+class _QueueIoServer:
+    """Shared machinery: FIFO queue + single server process."""
+
+    def __init__(self, engine: Engine, costs: Optional[CostModel] = None,
+                 name: str = "ioserver"):
+        self.engine = engine
+        self.costs = costs or CostModel()
+        self.name = name
+        self.recorder = LatencyRecorder(f"{name}.latency")
+        self._queue: Deque[Tuple[int, int, int]] = deque()  # (id, svc, t)
+        self._arrival = Signal(f"{name}.arrival")
+        self._idle = True
+        self.completed = 0
+        self.wakeups = 0
+        self.busy_cycles = 0
+        self.wasted_cycles = 0
+        self.started_at = engine.now
+        engine.spawn(self._serve(), name=f"{name}.server")
+
+    # ------------------------------------------------------------------
+    def deliver(self, event_id: int, service_cycles: int) -> None:
+        """A packet/completion landed now; queue it for service."""
+        if service_cycles < 1:
+            raise ConfigError("service must be at least one cycle")
+        self._queue.append((event_id, service_cycles, self.engine.now))
+        self._arrival.fire()
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def stats(self) -> IoServerStats:
+        summary = self.recorder.summary()
+        return IoServerStats(
+            completed=self.completed,
+            wakeups=self.wakeups,
+            busy_cycles=self.busy_cycles,
+            wasted_cycles=self.wasted_cycles,
+            mean_latency=summary.mean,
+            p50_latency=summary.p50,
+            p99_latency=summary.p99,
+        )
+
+    # ------------------------------------------------------------------
+    def _wake_cost_cycles(self) -> int:
+        """Idle-to-running transition cost; overridden per design."""
+        raise NotImplementedError
+
+    def _serve(self):
+        while True:
+            while not self._queue:
+                self._idle = True
+                yield self._arrival
+            self._idle = False
+            cost = self._wake_cost_cycles()
+            self.wakeups += 1
+            if cost:
+                self.wasted_cycles += cost
+                yield cost
+            # drain the queue without further wakeups: the handler only
+            # re-blocks when no events remain (both interrupt coalescing
+            # and the mwait loop behave this way)
+            while self._queue:
+                event_id, service, landed = self._queue.popleft()
+                yield service
+                self.busy_cycles += service
+                self.completed += 1
+                self.recorder.record(self.engine.now - landed)
+
+
+class InterruptIoServer(_QueueIoServer):
+    """Baseline: blocked thread woken via the IDT chain per idle gap."""
+
+    def __init__(self, engine: Engine, costs: Optional[CostModel] = None,
+                 cross_core: bool = False, name: str = "irq-io"):
+        self.cross_core = cross_core
+        super().__init__(engine, costs, name)
+
+    def _wake_cost_cycles(self) -> int:
+        return self.costs.baseline_io_wakeup_cycles(cross_core=self.cross_core)
+
+
+class MwaitIoServer(_QueueIoServer):
+    """Proposed: a hardware thread mwait-ing on the queue tail."""
+
+    def __init__(self, engine: Engine, costs: Optional[CostModel] = None,
+                 tier: str = "rf", name: str = "mwait-io"):
+        if tier not in ("rf", "l2", "l3"):
+            raise ConfigError(f"unknown storage tier {tier!r}")
+        self.tier = tier
+        super().__init__(engine, costs, name)
+
+    def _wake_cost_cycles(self) -> int:
+        return self.costs.hw_wakeup_cycles(self.tier)
+
+
+class PollingIoServer(_QueueIoServer):
+    """A dedicated core spinning on the ring tail.
+
+    Delivery cost is one poll-loop iteration; the price is that every
+    idle cycle is burned spinning (``wasted_cycles`` accumulates the
+    idle time at :meth:`finalize`), which is the paper's objection.
+    """
+
+    def __init__(self, engine: Engine, costs: Optional[CostModel] = None,
+                 poll_iteration_cycles: int = 20, name: str = "poll-io"):
+        if poll_iteration_cycles < 1:
+            raise ConfigError("poll iteration must be at least one cycle")
+        self.poll_iteration_cycles = poll_iteration_cycles
+        self._finalized = False
+        super().__init__(engine, costs, name)
+
+    def _wake_cost_cycles(self) -> int:
+        # detection happens within one poll-loop iteration; the spin
+        # waste itself is accounted at finalize() from idle time
+        return self.poll_iteration_cycles
+
+    def finalize(self) -> None:
+        """Charge all idle time as spin waste (at run end). Idempotent."""
+        if self._finalized:
+            return
+        self._finalized = True
+        elapsed = self.engine.now - self.started_at
+        spin = elapsed - self.busy_cycles
+        if spin > 0:
+            self.wasted_cycles += spin

@@ -1,0 +1,226 @@
+"""Single-server queueing disciplines.
+
+Section 4 ("Support for Thread Scheduling"): executing runnable
+hardware threads "in a fine-grain, round-robin (RR) manner ... emulates
+processor sharing (PS)", and "the combination of PS scheduling with
+thread-per-request will actually provide superior performance for
+server workloads with high execution-time variability".
+
+Three disciplines make that claim testable:
+
+- :class:`FifoServer` -- run-to-completion FCFS: what a baseline kernel
+  does when it cannot afford preemption (per-switch cost too high).
+- :class:`RoundRobinServer` -- preemptive RR with a configurable
+  quantum and a per-switch cost: software time-slicing. As the quantum
+  shrinks it approaches PS, but the switch cost blows up -- that
+  tension is the ablation of E12.
+- :class:`ProcessorSharingServer` -- exact (fluid) PS with zero switch
+  cost: the paper's hardware fine-grain RR.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.analysis.stats import LatencyRecorder
+from repro.errors import ConfigError
+from repro.sim.engine import Engine, ScheduledCall
+from repro.sim.process import Signal
+from repro.workloads.requests import Request
+
+
+class QueueingServer(abc.ABC):
+    """Common surface: feed requests with :meth:`offer` at arrival time."""
+
+    def __init__(self, engine: Engine, name: str = "",
+                 recorder: Optional[LatencyRecorder] = None):
+        self.engine = engine
+        self.name = name or type(self).__name__
+        self.recorder = recorder or LatencyRecorder(self.name)
+        self.completed = 0
+        self.busy_cycles = 0
+        self.overhead_cycles = 0
+
+    @abc.abstractmethod
+    def offer(self, request: Request) -> None:
+        """A request arrives now (engine.now == request.arrival_time)."""
+
+    @abc.abstractmethod
+    def in_flight(self) -> int:
+        """Requests admitted but not finished."""
+
+    def _finish(self, request: Request) -> None:
+        request.finish_time = float(self.engine.now)
+        self.completed += 1
+        self.recorder.record(request.latency)
+        done = request.payload.get("done")
+        if done is not None:
+            done.fire(request)
+
+
+def feed_trace(engine: Engine, server: QueueingServer,
+               trace: List[Request]) -> None:
+    """Schedule ``server.offer`` at every request's arrival time."""
+    for request in trace:
+        engine.at(int(round(request.arrival_time)), server.offer, request)
+
+
+class FifoServer(QueueingServer):
+    """FCFS run-to-completion (no preemption, no switch cost)."""
+
+    def __init__(self, engine: Engine, name: str = "",
+                 recorder: Optional[LatencyRecorder] = None):
+        super().__init__(engine, name, recorder)
+        self._queue: Deque[Request] = deque()
+        self._arrival = Signal(f"{self.name}.arrival")
+        self._active = 0
+        engine.spawn(self._serve(), name=f"{self.name}.server")
+
+    def offer(self, request: Request) -> None:
+        self._queue.append(request)
+        self._arrival.fire()
+
+    def in_flight(self) -> int:
+        return len(self._queue) + self._active
+
+    def _serve(self):
+        while True:
+            while not self._queue:
+                yield self._arrival
+            request = self._queue.popleft()
+            self._active = 1
+            request.start_time = float(self.engine.now)
+            service = max(1, int(round(request.service_cycles)))
+            yield service
+            self.busy_cycles += service
+            self._active = 0
+            self._finish(request)
+
+
+class RoundRobinServer(QueueingServer):
+    """Preemptive round robin with per-switch overhead.
+
+    ``quantum`` is the time slice; ``switch_cost`` the cycles charged
+    whenever the server switches between two *different* jobs (the
+    software context-switch tax; zero models hardware RR).
+    """
+
+    def __init__(self, engine: Engine, quantum: int,
+                 switch_cost: int = 0, name: str = "",
+                 recorder: Optional[LatencyRecorder] = None):
+        if quantum < 1:
+            raise ConfigError(f"quantum must be >= 1, got {quantum}")
+        if switch_cost < 0:
+            raise ConfigError(f"switch cost must be >= 0, got {switch_cost}")
+        super().__init__(engine, name, recorder)
+        self.quantum = quantum
+        self.switch_cost = switch_cost
+        self._queue: Deque[Tuple[Request, int]] = deque()
+        self._arrival = Signal(f"{self.name}.arrival")
+        self._active = 0
+        self._last_tid: Optional[int] = None
+        engine.spawn(self._serve(), name=f"{self.name}.server")
+
+    def offer(self, request: Request) -> None:
+        remaining = max(1, int(round(request.service_cycles)))
+        self._queue.append((request, remaining))
+        self._arrival.fire()
+
+    def in_flight(self) -> int:
+        return len(self._queue) + self._active
+
+    def _serve(self):
+        while True:
+            while not self._queue:
+                yield self._arrival
+            request, remaining = self._queue.popleft()
+            self._active = 1
+            if request.start_time is None:
+                request.start_time = float(self.engine.now)
+            if self._last_tid is not None and self._last_tid != request.req_id:
+                if self.switch_cost:
+                    yield self.switch_cost
+                    self.overhead_cycles += self.switch_cost
+            self._last_tid = request.req_id
+            slice_cycles = min(self.quantum, remaining)
+            yield slice_cycles
+            self.busy_cycles += slice_cycles
+            remaining -= slice_cycles
+            self._active = 0
+            if remaining > 0:
+                self._queue.append((request, remaining))
+            else:
+                self._finish(request)
+
+
+class ProcessorSharingServer(QueueingServer):
+    """Exact fluid processor sharing (the hardware fine-grain RR limit).
+
+    With ``n`` active jobs on ``servers`` cores each job progresses at
+    rate ``min(1, servers/n)`` (M/G/m round robin in the fluid limit).
+    State is advanced lazily at arrival/completion events, so the
+    simulation is event-exact with no quantum artifacts and no switch
+    cost -- per the paper, hardware multiplexing makes the switch free.
+    """
+
+    def __init__(self, engine: Engine, name: str = "",
+                 recorder: Optional[LatencyRecorder] = None,
+                 servers: int = 1):
+        if servers < 1:
+            raise ConfigError(f"servers must be >= 1, got {servers}")
+        super().__init__(engine, name, recorder)
+        self.servers = servers
+        self._jobs: List[Tuple[Request, float]] = []  # (request, remaining)
+        self._last_update = 0
+        self._pending_completion: Optional[ScheduledCall] = None
+
+    def offer(self, request: Request) -> None:
+        self._advance()
+        request.start_time = float(self.engine.now)
+        self._jobs.append((request, max(1.0, float(request.service_cycles))))
+        self._reschedule()
+
+    def in_flight(self) -> int:
+        return len(self._jobs)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Apply progress since the last event to every active job."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if not self._jobs or elapsed <= 0:
+            return
+        active = min(len(self._jobs), self.servers)
+        self.busy_cycles += elapsed * active  # server-cycles consumed
+        rate = elapsed * min(1.0, self.servers / len(self._jobs))
+        self._jobs = [(req, rem - rate) for req, rem in self._jobs]
+
+    def _reschedule(self) -> None:
+        if self._pending_completion is not None:
+            self._pending_completion.cancel()
+            self._pending_completion = None
+        if not self._jobs:
+            return
+        min_remaining = min(rem for _req, rem in self._jobs)
+        # next completion after min_remaining / per-job-rate of wall time
+        slowdown = max(1.0, len(self._jobs) / self.servers)
+        delay = max(1, int(round(min_remaining * slowdown)))
+        self._pending_completion = self.engine.after(delay, self._complete)
+
+    def _complete(self) -> None:
+        self._pending_completion = None
+        self._advance()
+        finished = [(req, rem) for req, rem in self._jobs if rem <= 0.5]
+        self._jobs = [(req, rem) for req, rem in self._jobs if rem > 0.5]
+        for request, _rem in finished:
+            self._finish(request)
+        if not finished:
+            # rounding left the minimum just above zero; finish it now
+            request, _rem = min(self._jobs, key=lambda jr: jr[1])
+            self._jobs = [(r, rem) for r, rem in self._jobs
+                          if r.req_id != request.req_id]
+            self._finish(request)
+        self._reschedule()

@@ -1,0 +1,204 @@
+"""System-call paths: synchronous, FlexSC-style batched, hardware-thread.
+
+Section 2 ("Exception-less System Calls and No VM-Exits") frames the
+baseline trade-off: serve the syscall in the *same* thread and pay "the
+state management necessary when switching privilege levels within a
+hardware thread [that] can take hundreds of cycles", or in a *separate
+kernel thread* (FlexSC) and pay "complex asynchronous APIs and scheduler
+fine-tuning so that kernel threads do not suffer excessive delays". The
+proposal gets both: "System calls ... can be served in dedicated
+hardware threads, avoiding the mode switching overheads" with a
+synchronous API ("Application threads can directly start kernel threads
+and use the API in Section 3 to pass parameters").
+
+Three paths, one runner. Each path's :meth:`call` is a sub-generator
+usable from a simulation process; :meth:`overhead_cycles` gives the
+closed-form per-call overhead for the summary table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.analysis.stats import LatencyRecorder
+from repro.arch.costs import CostModel
+from repro.errors import ConfigError
+from repro.kernel.threads import ContextSwitchAccounting
+from repro.sim.engine import Engine
+from repro.sim.process import Signal
+
+
+class SyncSyscallPath:
+    """In-thread synchronous syscall (Linux, Dune, IX, ZygOS)."""
+
+    def __init__(self, engine: Engine, costs: Optional[CostModel] = None,
+                 kernel_uses_fp: bool = False,
+                 accounting: Optional[ContextSwitchAccounting] = None):
+        self.engine = engine
+        self.costs = costs or CostModel()
+        self.kernel_uses_fp = kernel_uses_fp
+        self.accounting = accounting or ContextSwitchAccounting(self.costs)
+        self.calls = 0
+
+    def overhead_cycles(self) -> int:
+        """Per-call overhead excluding the kernel work itself."""
+        return self.costs.syscall_sync_cycles(fp_save=self.kernel_uses_fp)
+
+    def call(self, kernel_work_cycles: int):
+        """Sub-generator: perform one syscall (``yield from`` me)."""
+        self.calls += 1
+        self.accounting.charge_mode_switch(fp_save=self.kernel_uses_fp)
+        yield self.overhead_cycles() + max(1, kernel_work_cycles)
+
+
+class FlexScPath:
+    """Exception-less syscalls via a shared page and a kernel-side
+    syscall thread (FlexSC [69]).
+
+    The application posts an entry to the syscall page (cheap stores)
+    and blocks on the completion slot; a kernel thread wakes every
+    ``batch_window_cycles``, drains all pending entries, and writes
+    results. Mode switches are amortized away, but each call eats the
+    batching delay -- the "excessive delays" / async-API complexity the
+    paper refers to.
+    """
+
+    def __init__(self, engine: Engine, costs: Optional[CostModel] = None,
+                 batch_window_cycles: int = 5_000,
+                 post_cycles: int = 40,
+                 kernel_uses_fp: bool = False):
+        if batch_window_cycles < 1:
+            raise ConfigError("batch window must be at least one cycle")
+        self.engine = engine
+        self.costs = costs or CostModel()
+        self.batch_window_cycles = batch_window_cycles
+        self.post_cycles = post_cycles
+        self.kernel_uses_fp = kernel_uses_fp  # separate thread: no save cost
+        self.calls = 0
+        self.batches = 0
+        self._pending: Deque[Tuple[int, Signal]] = deque()
+        self._drain_scheduled = False
+
+    def overhead_cycles(self) -> int:
+        """Mean per-call overhead: posting plus half a batch window."""
+        return self.post_cycles + self.batch_window_cycles // 2
+
+    def call(self, kernel_work_cycles: int):
+        """Sub-generator: post the entry and wait for its completion."""
+        self.calls += 1
+        yield self.post_cycles
+        done = Signal("flexsc.done")
+        self._pending.append((max(1, kernel_work_cycles), done))
+        self._schedule_drain()
+        yield done
+
+    def _schedule_drain(self) -> None:
+        """Arrange for the kernel thread's next batch-boundary visit.
+
+        The kernel syscall thread inspects the shared page on a fixed
+        ``batch_window_cycles`` grid; modeling only the visits that find
+        work keeps the event queue finite without changing any latency.
+        """
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        window = self.batch_window_cycles
+        next_boundary = ((self.engine.now // window) + 1) * window
+        self.engine.at(next_boundary, self._start_batch)
+
+    def _start_batch(self) -> None:
+        self._drain_scheduled = False
+        if not self._pending:
+            return
+        self.batches += 1
+        batch, self._pending = self._pending, deque()
+        self.engine.spawn(self._run_batch(batch), name="flexsc.batch")
+
+    def _run_batch(self, batch):
+        for work, done in batch:
+            yield work
+            done.fire()
+        # entries posted while this batch ran wait for the next boundary
+        if self._pending:
+            self._schedule_drain()
+
+
+class HwThreadSyscallPath:
+    """Proposed: the application starts a dedicated kernel ptid.
+
+    Per call: rpush the arguments into the (disabled) kernel ptid,
+    start it (paying the storage-tier start latency), let it run the
+    kernel work, and wake on its completion-word write. No privilege
+    mode switch ever happens; the kernel ptid may freely use FP/vector
+    registers ("Access to All Registers in the Kernel") at no extra
+    per-call cost.
+    """
+
+    def __init__(self, engine: Engine, costs: Optional[CostModel] = None,
+                 tier: str = "rf", kernel_uses_fp: bool = False):
+        if tier not in ("rf", "l2", "l3"):
+            raise ConfigError(f"unknown storage tier {tier!r}")
+        self.engine = engine
+        self.costs = costs or CostModel()
+        self.tier = tier
+        self.kernel_uses_fp = kernel_uses_fp  # free: separate ptid state
+        self.calls = 0
+
+    def overhead_cycles(self) -> int:
+        """Per-call overhead: rpush args + start + completion wakeup."""
+        return (self.costs.rpull_rpush_cycles
+                + self.costs.hw_start_cycles(self.tier)
+                + self.costs.monitor_wakeup_cycles)
+
+    def call(self, kernel_work_cycles: int):
+        """Sub-generator: start the kernel ptid and wait for its write."""
+        self.calls += 1
+        yield self.overhead_cycles() + max(1, kernel_work_cycles)
+
+
+class SyscallRunner:
+    """Drives one application thread making back-to-back syscalls.
+
+    Each iteration: ``user_work_cycles`` of application compute, then
+    one syscall with ``kernel_work_cycles`` of kernel compute. Records
+    per-call latency (invoke-to-return) and end-to-end runtime, from
+    which the benchmark derives throughput and overhead fraction.
+    """
+
+    def __init__(self, engine: Engine, path, iterations: int,
+                 user_work_cycles: int = 500,
+                 kernel_work_cycles: int = 300):
+        if iterations < 1:
+            raise ConfigError("need at least one iteration")
+        self.engine = engine
+        self.path = path
+        self.iterations = iterations
+        self.user_work_cycles = user_work_cycles
+        self.kernel_work_cycles = kernel_work_cycles
+        self.recorder = LatencyRecorder("syscall.latency")
+        self.finished_at: Optional[int] = None
+        self.process = engine.spawn(self._app(), name="syscall.app")
+
+    def _app(self):
+        for _ in range(self.iterations):
+            if self.user_work_cycles:
+                yield self.user_work_cycles
+            started = self.engine.now
+            yield from self.path.call(self.kernel_work_cycles)
+            self.recorder.record(self.engine.now - started)
+        self.finished_at = self.engine.now
+
+    # ------------------------------------------------------------------
+    def total_cycles(self) -> int:
+        if self.finished_at is None:
+            raise ConfigError("runner not finished; run the engine first")
+        return self.finished_at
+
+    def useful_cycles(self) -> int:
+        return self.iterations * (self.user_work_cycles
+                                  + self.kernel_work_cycles)
+
+    def overhead_fraction(self) -> float:
+        total = self.total_cycles()
+        return (total - self.useful_cycles()) / total

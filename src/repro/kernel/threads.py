@@ -1,0 +1,166 @@
+"""Software threads and context-switch accounting.
+
+The baseline world multiplexes software threads onto a small number of
+hardware threads; every block/unblock pays the costs Section 1
+enumerates. :class:`ContextSwitchAccounting` centralizes the charging so
+experiments report not just latency but *where the cycles went* --
+the paper's complaint is precisely this overhead budget.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.arch.costs import CostModel
+from repro.errors import SimulationError
+
+_thread_ids = itertools.count(1)
+
+
+class SwThreadState(enum.Enum):
+    """Classic software-thread lifecycle states."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class SoftwareThread:
+    """One kernel-visible software thread (behavioral).
+
+    Tracks the state machine and per-thread statistics; the scheduling
+    and cost charging happen in the server/scheduler models.
+    """
+
+    def __init__(self, name: str = "", uses_fp: bool = False):
+        self.tid = next(_thread_ids)
+        self.name = name or f"swthread-{self.tid}"
+        self.uses_fp = uses_fp
+        self.state = SwThreadState.READY
+        self.cpu_cycles = 0
+        self.blocks = 0
+        self.wakeups = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        if self.state not in (SwThreadState.READY,):
+            raise SimulationError(
+                f"{self.name}: cannot run from {self.state.value}")
+        self.state = SwThreadState.RUNNING
+
+    def block(self) -> None:
+        if self.state is not SwThreadState.RUNNING:
+            raise SimulationError(
+                f"{self.name}: cannot block from {self.state.value}")
+        self.state = SwThreadState.BLOCKED
+        self.blocks += 1
+
+    def wake(self) -> None:
+        if self.state is not SwThreadState.BLOCKED:
+            raise SimulationError(
+                f"{self.name}: cannot wake from {self.state.value}")
+        self.state = SwThreadState.READY
+        self.wakeups += 1
+
+    def preempt(self) -> None:
+        if self.state is not SwThreadState.RUNNING:
+            raise SimulationError(
+                f"{self.name}: cannot preempt from {self.state.value}")
+        self.state = SwThreadState.READY
+
+    def finish(self) -> None:
+        self.state = SwThreadState.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SoftwareThread {self.name} {self.state.value}>"
+
+
+class ContextSwitchAccounting:
+    """Central ledger of context-switch overhead cycles.
+
+    Every baseline model charges through this object, so an experiment
+    can report the total tax (and its breakdown) next to the latency
+    numbers -- reproducing the paper's "high overheads" claim with an
+    auditable trail.
+    """
+
+    def __init__(self, costs: Optional[CostModel] = None):
+        self.costs = costs or CostModel()
+        self.switches = 0
+        self.mode_switches = 0
+        self.irq_entries = 0
+        self.scheduler_invocations = 0
+        self.ipis = 0
+        self.switch_cycles = 0
+        self.mode_switch_cycles = 0
+        self.irq_cycles = 0
+        self.scheduler_cycles = 0
+        self.ipi_cycles = 0
+        self.pollution_cycles = 0
+
+    # ------------------------------------------------------------------
+    def charge_switch(self, fp_state: bool = False,
+                      include_pollution: bool = True) -> int:
+        """One software context switch (no scheduler). Returns cycles."""
+        self.switches += 1
+        cycles = self.costs.sw_switch_cycles
+        if fp_state:
+            cycles += self.costs.sw_switch_fp_extra_cycles
+        self.switch_cycles += cycles
+        if include_pollution:
+            self.pollution_cycles += self.costs.cache_pollution_cycles
+            cycles += self.costs.cache_pollution_cycles
+        return cycles
+
+    def charge_mode_switch(self, fp_save: bool = False) -> int:
+        """One privilege-level round trip (syscall entry+exit)."""
+        self.mode_switches += 1
+        cycles = self.costs.mode_switch_cycles
+        if fp_save:
+            cycles += self.costs.sw_switch_fp_extra_cycles
+        self.mode_switch_cycles += cycles
+        return cycles
+
+    def charge_irq(self) -> int:
+        """Hard-IRQ entry + exit."""
+        self.irq_entries += 1
+        cycles = self.costs.irq_entry_cycles + self.costs.irq_exit_cycles
+        self.irq_cycles += cycles
+        return cycles
+
+    def charge_scheduler(self) -> int:
+        """One kernel-scheduler invocation."""
+        self.scheduler_invocations += 1
+        self.scheduler_cycles += self.costs.scheduler_cycles
+        return self.costs.scheduler_cycles
+
+    def charge_ipi(self) -> int:
+        """One inter-processor interrupt."""
+        self.ipis += 1
+        self.ipi_cycles += self.costs.ipi_cycles
+        return self.costs.ipi_cycles
+
+    # ------------------------------------------------------------------
+    @property
+    def total_overhead_cycles(self) -> int:
+        return (self.switch_cycles + self.mode_switch_cycles
+                + self.irq_cycles + self.scheduler_cycles + self.ipi_cycles
+                + self.pollution_cycles)
+
+    def breakdown(self) -> dict:
+        """Overhead cycles by category."""
+        return {
+            "switch": self.switch_cycles,
+            "mode_switch": self.mode_switch_cycles,
+            "irq": self.irq_cycles,
+            "scheduler": self.scheduler_cycles,
+            "ipi": self.ipi_cycles,
+            "pollution": self.pollution_cycles,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ContextSwitchAccounting switches={self.switches}"
+                f" overhead={self.total_overhead_cycles}>")

@@ -1,0 +1,192 @@
+"""Set-associative LRU cache hierarchy.
+
+Used for the *pollution* side of context-switch cost: the paper's
+Section 1 complains that frequent switches "lead to poor caching
+behavior" and Section 4 argues thread state plus working sets must stay
+on-chip. The model is a conventional set-associative LRU simulator with
+per-level hit latencies taken from :class:`~repro.arch.costs.CostModel`.
+
+This is an access-timing model only -- data values live in
+:class:`~repro.mem.memory.Memory`; the cache tracks presence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+class Cache:
+    """One cache level (set-associative, LRU, allocate-on-miss)."""
+
+    def __init__(self, name: str, size_bytes: int, ways: int = 8,
+                 line_bytes: int = 64, hit_cycles: int = 4,
+                 parent: Optional["Cache"] = None,
+                 miss_cycles: int = 250):
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ConfigError(f"invalid cache geometry for {name!r}")
+        lines = size_bytes // line_bytes
+        if lines % ways != 0:
+            raise ConfigError(
+                f"{name!r}: {lines} lines not divisible into {ways} ways")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sets = lines // ways
+        self.hit_cycles = hit_cycles
+        self.parent = parent
+        self.miss_cycles = miss_cycles  # cost beyond the last level
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        self._pinned: set = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int) -> int:
+        """Touch ``addr``; returns total load-to-use cycles."""
+        line = addr // self.line_bytes
+        index = line % self.sets
+        ways = self._sets[index]
+        if line in ways:
+            self.hits += 1
+            ways.move_to_end(line)
+            return self.hit_cycles
+        self.misses += 1
+        below = self.parent.access(addr) if self.parent else self.miss_cycles
+        self._fill(index, line)
+        return self.hit_cycles + below
+
+    def contains(self, addr: int) -> bool:
+        line = addr // self.line_bytes
+        return line in self._sets[line % self.sets]
+
+    def warm(self, base: int, nbytes: int) -> None:
+        """Prefetch an address range without charging latency.
+
+        Models the paper's "prefetching techniques that warm up caches
+        of all types as soon as threads become runnable".
+        """
+        line0 = base // self.line_bytes
+        line1 = (base + max(nbytes - 1, 0)) // self.line_bytes
+        for line in range(line0, line1 + 1):
+            index = line % self.sets
+            ways = self._sets[index]
+            if line in ways:
+                ways.move_to_end(line)
+            else:
+                self._fill(index, line)
+        if self.parent is not None:
+            self.parent.warm(base, nbytes)
+
+    def pin(self, base: int, nbytes: int) -> None:
+        """Pin an address range: resident and never evicted.
+
+        Models Section 4: "we can pin the most critical
+        instructions/data/translations (few KBytes) for
+        performance-sensitive threads in caches, using fine-grain cache
+        partitioning techniques that allow hundreds of small partitions
+        without loss of associativity [66]". A set whose ways are all
+        pinned bypasses new fills rather than losing pinned lines.
+        """
+        line0 = base // self.line_bytes
+        line1 = (base + max(nbytes - 1, 0)) // self.line_bytes
+        for line in range(line0, line1 + 1):
+            self._pinned.add(line)
+        self.warm(base, nbytes)
+
+    def unpin(self, base: int, nbytes: int) -> None:
+        """Release a pinned range (lines stay cached, become evictable)."""
+        line0 = base // self.line_bytes
+        line1 = (base + max(nbytes - 1, 0)) // self.line_bytes
+        for line in range(line0, line1 + 1):
+            self._pinned.discard(line)
+
+    def flush(self) -> None:
+        """Drop every line except pinned ones (they are unevictable)."""
+        for ways in self._sets:
+            for line in [l for l in ways if l not in self._pinned]:
+                del ways[line]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def _fill(self, index: int, line: int) -> None:
+        ways = self._sets[index]
+        if len(ways) >= self.ways:
+            victim = next((l for l in ways if l not in self._pinned), None)
+            if victim is None:
+                self.bypasses += 1  # set fully pinned: do not allocate
+                return
+            del ways[victim]
+            self.evictions += 1
+        ways[line] = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Cache {self.name} {self.size_bytes >> 10}KiB hit_rate={self.hit_rate:.2f}>"
+
+
+class CacheHierarchy:
+    """A conventional L1/L2/L3 stack built from the cost model."""
+
+    def __init__(self, costs=None, l1_kib: int = 32, l2_kib: int = 512,
+                 l3_kib: int = 8192, line_bytes: int = 64):
+        if costs is None:
+            from repro.arch.costs import CostModel
+            costs = CostModel()
+        self.l3 = Cache("L3", l3_kib * 1024, ways=16, line_bytes=line_bytes,
+                        hit_cycles=costs.l3_hit_cycles, parent=None,
+                        miss_cycles=costs.dram_cycles)
+        self.l2 = Cache("L2", l2_kib * 1024, ways=8, line_bytes=line_bytes,
+                        hit_cycles=costs.l2_hit_cycles, parent=self.l3)
+        self.l1 = Cache("L1", l1_kib * 1024, ways=8, line_bytes=line_bytes,
+                        hit_cycles=costs.l1_hit_cycles, parent=self.l2)
+
+    def access(self, addr: int) -> int:
+        """Load-to-use latency through the hierarchy."""
+        return self.l1.access(addr)
+
+    def warm(self, base: int, nbytes: int) -> None:
+        self.l1.warm(base, nbytes)
+
+    def pin(self, base: int, nbytes: int) -> None:
+        """Pin a critical range at every level (Section 4 partitioning)."""
+        for cache in (self.l1, self.l2, self.l3):
+            cache.pin(base, nbytes)
+
+    def unpin(self, base: int, nbytes: int) -> None:
+        for cache in (self.l1, self.l2, self.l3):
+            cache.unpin(base, nbytes)
+
+    def flush(self) -> None:
+        for cache in (self.l1, self.l2, self.l3):
+            cache.flush()
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        return {
+            cache.name: {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "hit_rate": cache.hit_rate,
+            }
+            for cache in (self.l1, self.l2, self.l3)
+        }
+
+    def walk_working_set(self, base: int, nbytes: int, stride: int = 64) -> int:
+        """Touch a working set sequentially; returns total cycles.
+
+        The basic tool for measuring pollution: run a working set, switch
+        to another, return, and compare cycles.
+        """
+        total = 0
+        for addr in range(base, base + nbytes, stride):
+            total += self.access(addr)
+        return total

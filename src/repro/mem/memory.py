@@ -1,0 +1,159 @@
+"""Word-granular flat memory.
+
+All data is stored as 64-bit words at 8-byte-aligned byte addresses.
+Every store is routed through the :class:`~repro.mem.watch.WatchBus`
+(the generalized-monitor substrate) and, when the address falls in an
+MMIO window, through the owning device's register handler.
+
+A bump allocator (:meth:`Memory.alloc`) hands out named regions so
+experiments can lay out rings, descriptor tables, and mailboxes without
+address bookkeeping. In ``strict`` mode, touching memory outside any
+region raises a page-fault :class:`~repro.errors.GuestFault`, which the
+hardware model converts into an exception descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import GuestFault, MemoryError_
+from repro.mem.watch import WatchBus
+
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named allocated address range [base, base+size)."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def word(self, index: int) -> int:
+        """Byte address of the index-th word in the region."""
+        addr = self.base + index * WORD_BYTES
+        if addr >= self.end:
+            raise MemoryError_(
+                f"word {index} out of region {self.name!r} ({self.size} bytes)")
+        return addr
+
+
+class Memory:
+    """Sparse 64-bit-word memory with watch notification.
+
+    ``strict=True`` turns out-of-region accesses into page faults; the
+    default is permissive (all of memory exists, zero-filled), which is
+    what most experiments want.
+    """
+
+    def __init__(self, size_bytes: int = 1 << 32, strict: bool = False,
+                 watch_bus: Optional[WatchBus] = None):
+        self.size_bytes = size_bytes
+        self.strict = strict
+        self.watch_bus = watch_bus if watch_bus is not None else WatchBus()
+        self._words: Dict[int, int] = {}
+        self._regions: List[Region] = []
+        self._mmio: List["object"] = []  # MmioRegion, typed loosely to avoid cycle
+        self._alloc_cursor = 0x1000  # keep page 0 unmapped like a real OS
+        self.load_count = 0
+        self.store_count = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, size_bytes: int, align: int = 64) -> Region:
+        """Allocate a named region (bump allocator, line-aligned)."""
+        if size_bytes <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {size_bytes}")
+        base = (self._alloc_cursor + align - 1) // align * align
+        if base + size_bytes > self.size_bytes:
+            raise MemoryError_(
+                f"out of simulated memory allocating {size_bytes} for {name!r}")
+        region = Region(name, base, size_bytes)
+        self._regions.append(region)
+        self._alloc_cursor = base + size_bytes
+        return region
+
+    def region(self, name: str) -> Region:
+        for reg in self._regions:
+            if reg.name == name:
+                return reg
+        raise MemoryError_(f"no region named {name!r}")
+
+    def attach_mmio(self, mmio: "object") -> None:
+        """Register an MMIO window (created via repro.mem.mmio)."""
+        self._mmio.append(mmio)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def load(self, addr: int) -> int:
+        """Read the 64-bit word at ``addr`` (8-byte aligned)."""
+        self._check(addr)
+        self.load_count += 1
+        mmio = self._find_mmio(addr)
+        if mmio is not None:
+            return mmio.handle_load(addr)
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int, source: str = "cpu") -> None:
+        """Write the 64-bit word at ``addr`` and notify watchers.
+
+        ``source`` labels who wrote ('cpu', 'dma:nic0', 'msix', ...) --
+        the point of the paper's generalized monitor is that all of these
+        wake waiters identically.
+        """
+        self._check(addr)
+        self.store_count += 1
+        value = int(value) & 0xFFFF_FFFF_FFFF_FFFF
+        mmio = self._find_mmio(addr)
+        if mmio is not None:
+            mmio.handle_store(addr, value, source)
+        else:
+            self._words[addr] = value
+        self.watch_bus.notify(addr, value, source)
+
+    def fetch_add(self, addr: int, delta: int = 1, source: str = "cpu") -> int:
+        """Atomic read-modify-write; returns the *new* value.
+
+        Used for event counters (e.g. the APIC timer "can increment a
+        counter every time a timer interrupt is triggered").
+        """
+        new = (self._words.get(addr, 0) + delta) & 0xFFFF_FFFF_FFFF_FFFF
+        self.store(addr, new, source)
+        return new
+
+    def load_words(self, addr: int, count: int) -> List[int]:
+        return [self.load(addr + i * WORD_BYTES) for i in range(count)]
+
+    def store_words(self, addr: int, values, source: str = "cpu") -> None:
+        for i, value in enumerate(values):
+            self.store(addr + i * WORD_BYTES, value, source)
+
+    # ------------------------------------------------------------------
+    def _check(self, addr: int) -> None:
+        if addr % WORD_BYTES != 0:
+            raise GuestFault("alignment-fault", f"addr {addr:#x}", addr)
+        if not 0 <= addr < self.size_bytes:
+            raise GuestFault("page-fault", f"addr {addr:#x} out of memory", addr)
+        if self.strict and not any(r.contains(addr) for r in self._regions):
+            raise GuestFault("page-fault", f"addr {addr:#x} unmapped", addr)
+
+    def _find_mmio(self, addr: int):
+        for mmio in self._mmio:
+            if mmio.contains(addr):
+                return mmio
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Memory {len(self._words)} words, {len(self._regions)} regions,"
+                f" strict={self.strict}>")

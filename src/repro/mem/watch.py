@@ -1,0 +1,142 @@
+"""The write-watch bus: generalized monitor/mwait substrate.
+
+Paper, Section 3.1: "these instructions monitor any write (including
+DMA) to any address, may be used from any privilege level ... Unlike
+x86, one can monitor uncachable addresses such as device memory or
+memory-mapped I/O registers."
+
+Watches are line-granular (default 64 B), like real MONITOR, so a write
+to any byte of the watched line triggers the waiter -- the aliasing this
+implies is intentional and covered by tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Set
+
+from repro.sim.process import Signal
+
+LINE_BYTES = 64
+
+
+class Watch:
+    """One armed monitor: a set of watched lines and a wakeup signal.
+
+    A single watch may span several addresses (the paper: "A hardware
+    thread can monitor multiple memory locations"); any write to any of
+    them fires the signal once.
+    """
+
+    __slots__ = ("bus", "owner", "lines", "signal", "armed", "trigger_count",
+                 "last_trigger")
+
+    def __init__(self, bus: "WatchBus", owner: Any = None):
+        self.bus = bus
+        self.owner = owner
+        self.lines: Set[int] = set()
+        self.signal = Signal(f"watch:{owner}")
+        self.armed = True
+        self.trigger_count = 0
+        self.last_trigger: Optional[Dict[str, Any]] = None
+
+    def add_address(self, addr: int) -> None:
+        """Watch the cache line containing ``addr``."""
+        line = addr // self.bus.line_bytes
+        if line not in self.lines:
+            self.lines.add(line)
+            self.bus._line_watches[line].append(self)
+
+    def covers(self, addr: int) -> bool:
+        return (addr // self.bus.line_bytes) in self.lines
+
+    def cancel(self) -> None:
+        """Disarm and deregister. Idempotent."""
+        if not self.armed:
+            return
+        self.armed = False
+        for line in self.lines:
+            watchers = self.bus._line_watches.get(line)
+            if watchers and self in watchers:
+                watchers.remove(self)
+        self.lines.clear()
+
+    def _trigger(self, addr: int, value: int, source: str) -> None:
+        self.trigger_count += 1
+        self.last_trigger = {"addr": addr, "value": value, "source": source}
+        self.signal.fire(self.last_trigger)
+
+
+class WatchBus:
+    """Routes every memory write to the watches covering its line."""
+
+    def __init__(self, line_bytes: int = LINE_BYTES):
+        self.line_bytes = line_bytes
+        self._line_watches: Dict[int, List[Watch]] = defaultdict(list)
+        self.total_notifications = 0
+        self.total_triggers = 0
+
+    def watch(self, addresses, owner: Any = None) -> Watch:
+        """Arm a watch over one address or an iterable of addresses."""
+        watch = Watch(self, owner)
+        if isinstance(addresses, int):
+            addresses = [addresses]
+        for addr in addresses:
+            watch.add_address(addr)
+        return watch
+
+    def notify(self, addr: int, value: int, source: str = "cpu") -> int:
+        """A write happened; trigger covering watches. Returns count."""
+        self.total_notifications += 1
+        line = addr // self.line_bytes
+        watchers = self._line_watches.get(line)
+        if not watchers:
+            return 0
+        fired = 0
+        # copy: triggering may cancel/re-arm watches
+        for watch in list(watchers):
+            if watch.armed:
+                watch._trigger(addr, value, source)
+                fired += 1
+        self.total_triggers += fired
+        return fired
+
+    def subscribe(self, addr: int, callback, owner: Any = None):
+        """Persistently invoke ``callback(info)`` on every write to the
+        line holding ``addr``. Returns a zero-argument cancel function.
+
+        Unlike a raw :class:`Watch` (whose signal waiters are one-shot,
+        matching mwait semantics), a subscription re-arms itself --
+        convenience for device drivers and experiment instrumentation.
+        """
+        state = {"active": True, "watch": None}
+
+        def arm() -> None:
+            watch = self.watch(addr, owner=owner)
+            state["watch"] = watch
+
+            def on_write(info: dict) -> None:
+                watch.cancel()
+                if not state["active"]:
+                    return
+                arm()
+                callback(info)
+
+            watch.signal.add_waiter(on_write)
+
+        def cancel() -> None:
+            state["active"] = False
+            if state["watch"] is not None:
+                state["watch"].cancel()
+
+        arm()
+        return cancel
+
+    def watchers_on(self, addr: int) -> int:
+        """How many armed watches cover ``addr`` (diagnostics)."""
+        line = addr // self.line_bytes
+        return sum(1 for w in self._line_watches.get(line, []) if w.armed)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        lines = sum(1 for ws in self._line_watches.values() if ws)
+        return f"<WatchBus lines={lines} notes={self.total_notifications}>"

@@ -1,0 +1,30 @@
+"""Microkernel IPC: scheduler-mediated vs direct hardware-thread start.
+
+Section 2 ("Faster Microkernels and Container Proxies"): "when an
+application wishes to communicate with a microkernel service such as
+the file system or the network stack, it can directly start the
+service's hardware thread achieving the same result as XPC [30] while
+using a simpler hardware mechanism. There is no need to move into
+kernel space and invoke the scheduler."
+
+- :mod:`repro.microkernel.ipc` -- the two call mechanisms and a
+  ping-pong round-trip measurement.
+- :mod:`repro.microkernel.services` -- a service (file system, network
+  stack, container proxy) serving a client population through either
+  mechanism, for latency-under-load comparisons.
+"""
+
+from repro.microkernel.ipc import DirectStartIpc, SchedulerIpc
+from repro.microkernel.services import (
+    ClosedLoopClients,
+    MicrokernelService,
+    ServiceClient,
+)
+
+__all__ = [
+    "SchedulerIpc",
+    "DirectStartIpc",
+    "MicrokernelService",
+    "ServiceClient",
+    "ClosedLoopClients",
+]

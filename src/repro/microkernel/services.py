@@ -1,0 +1,199 @@
+"""Microkernel services and the clients that call them.
+
+A :class:`MicrokernelService` names a service (file system, network
+stack, container proxy) and its per-operation cost profile; a
+:class:`ServiceClient` issues a stream of calls through whichever IPC
+mechanism the experiment provides and records per-call latency.
+
+E07 sweeps the call rate: at low rate the mechanisms differ by their
+constant handoff overhead; approaching saturation the baseline's
+dispatch tax (scheduler + switch inside the service loop) caps its
+throughput well below the direct-start design's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.stats import LatencyRecorder
+from repro.errors import ConfigError
+from repro.sim.engine import Engine
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.service import ServiceDistribution
+
+
+@dataclass(frozen=True)
+class MicrokernelService:
+    """A named service with per-operation service-time profiles."""
+
+    name: str
+    operations: Dict[str, ServiceDistribution]
+
+    def operation(self, op: str) -> ServiceDistribution:
+        if op not in self.operations:
+            raise ConfigError(
+                f"service {self.name!r} has no operation {op!r}; "
+                f"known: {sorted(self.operations)}")
+        return self.operations[op]
+
+
+def filesystem_service(read_cycles: int = 1_200,
+                       write_cycles: int = 2_500) -> MicrokernelService:
+    """A file-system service ("File systems as processes" [54])."""
+    from repro.workloads.service import Exponential
+    return MicrokernelService("fs", {
+        "read": Exponential(read_cycles),
+        "write": Exponential(write_cycles),
+    })
+
+
+def netstack_service(rx_cycles: int = 900,
+                     tx_cycles: int = 700) -> MicrokernelService:
+    """A user-level network stack (TAS [48], Snap [55])."""
+    from repro.workloads.service import Exponential
+    return MicrokernelService("netstack", {
+        "rx": Exponential(rx_cycles),
+        "tx": Exponential(tx_cycles),
+    })
+
+
+def container_proxy_service(filter_cycles: int = 600,
+                            route_cycles: int = 1_100) -> MicrokernelService:
+    """A sidecar container proxy (Istio [15]).
+
+    Section 2: "Container proxies would benefit from the direct
+    transfer of control between the container and the proxy hardware
+    threads." Every request traverses the proxy twice (ingress filter,
+    egress route), so the per-hop IPC tax is doubled -- exactly the
+    workload where the direct-start mechanism pays.
+    """
+    from repro.workloads.service import Exponential
+    return MicrokernelService("container-proxy", {
+        "filter": Exponential(filter_cycles),
+        "route": Exponential(route_cycles),
+    })
+
+
+class ClosedLoopClients:
+    """N clients in a think-call loop (closed-loop population).
+
+    The classic interactive model: each client thinks for
+    ``think_cycles`` (exponential), issues one synchronous call, waits
+    for it, and repeats. Offered load self-regulates with service
+    latency, which is why closed-loop throughput curves saturate
+    gracefully instead of diverging -- the natural regime for comparing
+    IPC mechanisms at their respective capacity limits.
+    """
+
+    def __init__(self, engine: Engine, ipc, service: MicrokernelService,
+                 operation: str, clients: int, think_cycles: float,
+                 rng: random.Random, calls_per_client: int,
+                 name: str = "closed"):
+        if clients < 1:
+            raise ConfigError("need at least one client")
+        if calls_per_client < 1:
+            raise ConfigError("need at least one call per client")
+        if think_cycles < 0:
+            raise ConfigError("think time must be non-negative")
+        self.engine = engine
+        self.ipc = ipc
+        self.clients = clients
+        self.think_cycles = float(think_cycles)
+        self.rng = rng
+        self.calls_per_client = calls_per_client
+        self.recorder = LatencyRecorder(f"{name}.latency")
+        self.finished_clients = 0
+        self.finished_at: Optional[int] = None
+        self._dist = service.operation(operation)
+        for index in range(clients):
+            engine.spawn(self._client_loop(index), name=f"{name}.c{index}")
+
+    def _client_loop(self, index: int):
+        for _ in range(self.calls_per_client):
+            if self.think_cycles:
+                yield max(1, int(self.rng.expovariate(
+                    1.0 / self.think_cycles)))
+            work = max(1, int(round(self._dist.sample(self.rng))))
+            started = self.engine.now
+            yield from self.ipc.call(work)
+            self.recorder.record(self.engine.now - started)
+        self.finished_clients += 1
+        if self.finished_clients == self.clients:
+            self.finished_at = self.engine.now
+
+    @property
+    def completed(self) -> int:
+        return self.recorder.count
+
+    def throughput_per_kcycle(self) -> float:
+        """Completed calls per thousand cycles of wall time."""
+        if self.finished_at is None or self.finished_at == 0:
+            raise ConfigError("clients not finished")
+        return 1000.0 * self.completed / self.finished_at
+
+
+class ServiceClient:
+    """An open-loop client calling one service operation through an IPC
+    mechanism, recording per-call latency."""
+
+    def __init__(self, engine: Engine, ipc, service: MicrokernelService,
+                 operation: str, arrivals: ArrivalProcess,
+                 rng: random.Random, max_calls: int,
+                 name: str = "client"):
+        if max_calls < 1:
+            raise ConfigError("need at least one call")
+        self.engine = engine
+        self.ipc = ipc
+        self.service = service
+        self.operation = operation
+        self.arrivals = arrivals
+        self.rng = rng
+        self.max_calls = max_calls
+        self.name = name
+        self.recorder = LatencyRecorder(f"{name}.latency")
+        self.calls_issued = 0
+        self.finished_at: Optional[int] = None
+        self._dist = service.operation(operation)
+        self._in_flight = 0
+        self._spawn_arrivals()
+
+    # ------------------------------------------------------------------
+    def _spawn_arrivals(self) -> None:
+        gaps = self.arrivals.gaps(self.rng)
+
+        def schedule_next() -> None:
+            if self.calls_issued >= self.max_calls:
+                return
+            gap = max(1, int(round(next(gaps))))
+            self.engine.after(gap, issue)
+
+        def issue() -> None:
+            self.calls_issued += 1
+            work = max(1, int(round(self._dist.sample(self.rng))))
+            self.engine.spawn(self._one_call(work),
+                              name=f"{self.name}.call{self.calls_issued}")
+            schedule_next()
+
+        schedule_next()
+
+    def _one_call(self, work: int):
+        self._in_flight += 1
+        started = self.engine.now
+        yield from self.ipc.call(work)
+        self.recorder.record(self.engine.now - started)
+        self._in_flight -= 1
+        if (self.calls_issued >= self.max_calls and self._in_flight == 0):
+            self.finished_at = self.engine.now
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return self.recorder.count
+
+    def throughput_per_kcycle(self) -> float:
+        """Completed calls per thousand cycles of wall time."""
+        if self.finished_at is None or self.finished_at == 0:
+            raise ConfigError(f"client {self.name} not finished")
+        return 1000.0 * self.completed / self.finished_at

@@ -1,0 +1,85 @@
+"""Buffered message passing between simulation processes.
+
+``Channel`` models a bounded FIFO queue with blocking ``get`` and
+non-blocking ``put`` plus an optional capacity. It is used by the
+behavioral kernel models for request queues (syscall queues, IPC
+mailboxes, RPC sockets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.process import Signal
+
+
+class Channel:
+    """A FIFO of messages with a wakeup signal for consumers.
+
+    ``put`` appends and fires the signal; a consumer process does::
+
+        while True:
+            msg = yield from chan.get()
+            ...
+
+    ``get`` is a sub-generator (``yield from``) so it composes with the
+    process protocol without extra machinery.
+    """
+
+    def __init__(self, name: str = "", capacity: Optional[int] = None):
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self.signal = Signal(f"chan:{name}")
+        self.total_put = 0
+        self.total_got = 0
+        self.dropped = 0
+        self.high_watermark = 0
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> bool:
+        """Append ``item``; returns False (and counts a drop) if full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.total_put += 1
+        if len(self._items) > self.high_watermark:
+            self.high_watermark = len(self._items)
+        self.signal.fire(item)
+        return True
+
+    def try_get(self) -> Any:
+        """Pop the head or return None if empty."""
+        if not self._items:
+            return None
+        self.total_got += 1
+        return self._items.popleft()
+
+    def get(self):
+        """Sub-generator: block until an item is available, then pop it.
+
+        Usage inside a process body: ``item = yield from chan.get()``.
+        """
+        while not self._items:
+            yield self.signal
+        self.total_got += 1
+        return self._items.popleft()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def peek(self) -> Any:
+        if not self._items:
+            raise SimulationError(f"peek on empty channel {self.name!r}")
+        return self._items[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Channel {self.name} depth={len(self._items)}>"

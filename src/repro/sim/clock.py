@@ -1,0 +1,50 @@
+"""Cycle/time conversion at a configurable core frequency.
+
+The paper quotes latencies both in cycles ("roughly 20 clock cycles") and
+nanoseconds ("3ns to 16ns for a 3GHz CPU"); ``Clock`` keeps the two views
+consistent. The default frequency is the paper's 3 GHz.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+DEFAULT_FREQ_GHZ = 3.0
+
+
+class Clock:
+    """Frequency-aware conversion between cycles and wall-clock time."""
+
+    def __init__(self, freq_ghz: float = DEFAULT_FREQ_GHZ):
+        if freq_ghz <= 0:
+            raise ConfigError(f"frequency must be positive, got {freq_ghz}")
+        self.freq_ghz = float(freq_ghz)
+
+    # ------------------------------------------------------------------
+    def ns_to_cycles(self, ns: float) -> int:
+        """Nanoseconds to (rounded) cycles: 1 ns at 3 GHz = 3 cycles."""
+        return int(round(ns * self.freq_ghz))
+
+    def us_to_cycles(self, us: float) -> int:
+        return self.ns_to_cycles(us * 1e3)
+
+    def ms_to_cycles(self, ms: float) -> int:
+        return self.ns_to_cycles(ms * 1e6)
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.freq_ghz
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return self.cycles_to_ns(cycles) / 1e3
+
+    def cycles_per_second(self) -> float:
+        return self.freq_ghz * 1e9
+
+    def rate_to_interarrival_cycles(self, events_per_second: float) -> float:
+        """Mean inter-arrival gap in cycles for a given event rate."""
+        if events_per_second <= 0:
+            raise ConfigError(f"rate must be positive, got {events_per_second}")
+        return self.cycles_per_second() / events_per_second
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Clock({self.freq_ghz}GHz)"

@@ -1,0 +1,144 @@
+"""The discrete-event loop.
+
+Time is a monotonically non-decreasing integer measured in CPU cycles.
+Components schedule plain callbacks with :meth:`Engine.at` /
+:meth:`Engine.after`, or spawn generator coroutines via
+:meth:`Engine.spawn` (see :mod:`repro.sim.process`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Engine:
+    """A minimal but complete discrete-event engine.
+
+    Determinism: ties in time are broken by insertion order, so a given
+    program produces the same event interleaving on every run.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: List[Tuple[int, int, ScheduledCall]] = []
+        self._seq = itertools.count()
+        self._events_processed: int = 0
+        self._processes: "List[Any]" = []  # live Process objects (weak bookkeeping)
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks dispatched since construction."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` to run at absolute ``time``."""
+        time = int(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is t={self._now}"
+            )
+        call = ScheduledCall(time, fn, args)
+        heapq.heappush(self._queue, (time, next(self._seq), call))
+        return call
+
+    def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + int(delay), fn, *args)
+
+    def spawn(self, generator: Any, name: Optional[str] = None) -> "Any":
+        """Start a generator coroutine as a simulation process.
+
+        Returns the :class:`~repro.sim.process.Process`. Imported lazily to
+        break the module cycle.
+        """
+        from repro.sim.process import Process
+
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the next pending event. Returns False if none remain."""
+        while self._queue:
+            time, _seq, call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time at exit. When ``until`` is given the
+        clock is advanced to exactly ``until`` even if the queue drained
+        earlier, so rate computations stay meaningful.
+        """
+        dispatched = 0
+        while self._queue:
+            if max_events is not None and dispatched >= max_events:
+                break
+            next_time = self._peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            if not self.step():
+                break
+            dispatched += 1
+        if until is not None and self._now < until:
+            self._now = int(until)
+        return self._now
+
+    def _peek_time(self) -> Optional[int]:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled callbacks."""
+        return sum(1 for _, _, c in self._queue if not c.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self._now} pending={self.pending_events}>"

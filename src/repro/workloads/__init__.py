@@ -1,0 +1,54 @@
+"""Workload generation: arrival processes and service-time distributions.
+
+The paper's use cases are all driven by event streams -- packet
+arrivals, timer ticks, syscall invocations, RPC requests. This package
+provides the deterministic, seedable generators those experiments share:
+
+- :mod:`repro.workloads.arrivals` -- Poisson / deterministic / bursty
+  (two-state MMPP) arrival processes, open and closed loop.
+- :mod:`repro.workloads.service` -- service-time distributions with
+  controllable coefficient of variation (constant, exponential,
+  bimodal, bounded Pareto, lognormal), because Section 4 claims the
+  PS + thread-per-request combination wins "for server workloads with
+  high execution-time variability".
+- :mod:`repro.workloads.requests` -- request records and the generator
+  that binds an arrival process to a service distribution.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.requests import (
+    Request,
+    RequestGenerator,
+    gap_for_load,
+    offered_load,
+)
+from repro.workloads.service import (
+    Bimodal,
+    BoundedPareto,
+    Constant,
+    Exponential,
+    LogNormal,
+    ServiceDistribution,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "BurstyArrivals",
+    "ServiceDistribution",
+    "Constant",
+    "Exponential",
+    "Bimodal",
+    "BoundedPareto",
+    "LogNormal",
+    "Request",
+    "RequestGenerator",
+    "offered_load",
+    "gap_for_load",
+]

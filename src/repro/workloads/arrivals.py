@@ -1,0 +1,125 @@
+"""Arrival processes.
+
+Every process yields inter-arrival gaps in cycles from :meth:`gaps`;
+the consumer (a device model or an experiment driver) adds them to the
+current simulation time. All randomness comes from the caller-supplied
+``random.Random`` so experiments stay reproducible under
+:class:`~repro.sim.rng.RngStreams`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+
+class ArrivalProcess(abc.ABC):
+    """Generator of inter-arrival gaps (cycles, float)."""
+
+    @abc.abstractmethod
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """Yield successive inter-arrival gaps in cycles."""
+
+    @abc.abstractmethod
+    def mean_gap_cycles(self) -> float:
+        """The long-run mean gap, for load computations."""
+
+    def rate_per_cycle(self) -> float:
+        """Long-run arrival rate in events per cycle."""
+        return 1.0 / self.mean_gap_cycles()
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a fixed mean rate.
+
+    The open-loop process used for the I/O experiments (E02/E03): NIC
+    RX, SSD completions, and RPC request streams are classically modeled
+    as Poisson.
+    """
+
+    def __init__(self, mean_gap_cycles: float):
+        if mean_gap_cycles <= 0:
+            raise ConfigError(
+                f"mean gap must be positive, got {mean_gap_cycles}")
+        self._mean = float(mean_gap_cycles)
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        while True:
+            yield rng.expovariate(1.0 / self._mean)
+
+    def mean_gap_cycles(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PoissonArrivals(mean_gap={self._mean:.1f})"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed-period arrivals -- the APIC timer of Section 2.
+
+    ("the timer in the local APIC writes to the memory address that its
+    target hardware thread is waiting on" -- a strictly periodic source.)
+    """
+
+    def __init__(self, period_cycles: float):
+        if period_cycles <= 0:
+            raise ConfigError(f"period must be positive, got {period_cycles}")
+        self.period = float(period_cycles)
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        while True:
+            yield self.period
+
+    def mean_gap_cycles(self) -> float:
+        return self.period
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DeterministicArrivals(period={self.period:.1f})"
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process.
+
+    Alternates between a *burst* state (fast arrivals) and an *idle*
+    state (slow arrivals), with geometrically distributed state lengths.
+    Models the "varying I/O load" that Section 2 says complicates core
+    allocation for polling designs.
+    """
+
+    def __init__(self, burst_gap_cycles: float, idle_gap_cycles: float,
+                 mean_burst_events: float = 16.0,
+                 mean_idle_events: float = 4.0):
+        if burst_gap_cycles <= 0 or idle_gap_cycles <= 0:
+            raise ConfigError("gaps must be positive")
+        if burst_gap_cycles > idle_gap_cycles:
+            raise ConfigError("burst gap must not exceed idle gap")
+        if mean_burst_events < 1 or mean_idle_events < 1:
+            raise ConfigError("mean state lengths must be >= 1 event")
+        self.burst_gap = float(burst_gap_cycles)
+        self.idle_gap = float(idle_gap_cycles)
+        self.mean_burst_events = float(mean_burst_events)
+        self.mean_idle_events = float(mean_idle_events)
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        in_burst = True
+        while True:
+            mean_gap = self.burst_gap if in_burst else self.idle_gap
+            leave_prob = 1.0 / (self.mean_burst_events if in_burst
+                                else self.mean_idle_events)
+            yield rng.expovariate(1.0 / mean_gap)
+            if rng.random() < leave_prob:
+                in_burst = not in_burst
+
+    def mean_gap_cycles(self) -> float:
+        # time-weighted by expected events per state visit
+        total_events = self.mean_burst_events + self.mean_idle_events
+        total_time = (self.mean_burst_events * self.burst_gap
+                      + self.mean_idle_events * self.idle_gap)
+        return total_time / total_events
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"BurstyArrivals(burst={self.burst_gap:.1f},"
+                f" idle={self.idle_gap:.1f})")

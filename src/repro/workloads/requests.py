@@ -1,0 +1,106 @@
+"""Request records and the arrival+service generator.
+
+A :class:`Request` carries the timestamps every experiment needs to
+compute latency percentiles: when it arrived, when service began, when
+it finished. :class:`RequestGenerator` pre-draws a whole trace so the
+same requests can be replayed against *different* systems (baseline vs
+proposed) -- paired comparison removes sampling noise from the "who
+wins" question, which is the paper's actual claim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigError
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.service import ServiceDistribution
+
+
+@dataclass
+class Request:
+    """One unit of work flowing through a simulated system."""
+
+    req_id: int
+    arrival_time: float
+    service_cycles: float
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """Sojourn time: finish - arrival. Raises if not finished."""
+        if self.finish_time is None:
+            raise ConfigError(f"request {self.req_id} not finished")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Queueing delay before service began."""
+        if self.start_time is None:
+            raise ConfigError(f"request {self.req_id} never started")
+        return self.start_time - self.arrival_time
+
+    @property
+    def slowdown(self) -> float:
+        """Latency normalized by service demand."""
+        return self.latency / self.service_cycles
+
+
+class RequestGenerator:
+    """Binds an arrival process to a service distribution."""
+
+    def __init__(self, arrivals: ArrivalProcess,
+                 service: ServiceDistribution,
+                 rng: random.Random):
+        self.arrivals = arrivals
+        self.service = service
+        self.rng = rng
+
+    def trace(self, count: int, start_time: float = 0.0) -> List[Request]:
+        """Pre-draw ``count`` requests with absolute arrival times."""
+        if count < 1:
+            raise ConfigError(f"need at least one request, got {count}")
+        gaps = self.arrivals.gaps(self.rng)
+        now = float(start_time)
+        out: List[Request] = []
+        for req_id in range(count):
+            now += next(gaps)
+            out.append(Request(req_id=req_id, arrival_time=now,
+                               service_cycles=self.service.sample(self.rng)))
+        return out
+
+    def stream(self, start_time: float = 0.0) -> Iterator[Request]:
+        """Unbounded request stream (for duration-bounded runs)."""
+        gaps = self.arrivals.gaps(self.rng)
+        now = float(start_time)
+        req_id = 0
+        while True:
+            now += next(gaps)
+            yield Request(req_id=req_id, arrival_time=now,
+                          service_cycles=self.service.sample(self.rng))
+            req_id += 1
+
+    def offered_load(self) -> float:
+        """rho = arrival rate x mean service time (single server)."""
+        return offered_load(self.arrivals, self.service)
+
+
+def offered_load(arrivals: ArrivalProcess,
+                 service: ServiceDistribution,
+                 servers: int = 1) -> float:
+    """Utilization the workload would impose on ``servers`` servers."""
+    if servers < 1:
+        raise ConfigError(f"servers must be >= 1, got {servers}")
+    return service.mean() / (arrivals.mean_gap_cycles() * servers)
+
+
+def gap_for_load(service: ServiceDistribution, load: float,
+                 servers: int = 1) -> float:
+    """Mean inter-arrival gap that produces utilization ``load``."""
+    if not 0.0 < load:
+        raise ConfigError(f"load must be positive, got {load}")
+    return service.mean() / (load * servers)

@@ -1,0 +1,122 @@
+"""Tests for latency statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatencyRecorder, percentile, summarize
+from repro.analysis.stats import (
+    geometric_mean,
+    ratio,
+    throughput_per_second,
+    utilization,
+)
+from repro.errors import ConfigError
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_sample(self):
+        assert percentile([7], 99) == 7
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+
+    def test_out_of_range_pct_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1,
+                    max_size=200),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_within_sample_range_property(self, data, pct):
+        import math
+        p = percentile(data, pct)
+        lo, hi = min(data), max(data)
+        assert (lo <= p <= hi
+                or math.isclose(p, lo, rel_tol=1e-12)
+                or math.isclose(p, hi, rel_tol=1e-12))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=2,
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_pct_property(self, data):
+        import math
+        values = [percentile(data, p) for p in (10, 50, 90, 99)]
+        for lo, hi in zip(values, values[1:]):
+            assert lo <= hi or math.isclose(lo, hi, rel_tol=1e-12)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        s = summarize(list(range(1, 101)))
+        assert s.count == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.p50 == pytest.approx(50.5)
+        assert s.maximum == 100
+        assert s.p99 > s.p95 > s.p50
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0]).as_dict()
+        assert set(d) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+class TestLatencyRecorder:
+    def test_records_and_summarizes(self):
+        rec = LatencyRecorder("x")
+        rec.record_many([10, 20, 30])
+        assert rec.count == 3
+        assert rec.mean() == 20
+
+    def test_warmup_dropped(self):
+        rec = LatencyRecorder(warmup=2)
+        rec.record_many([1000, 1000, 10, 20])
+        assert rec.samples == [10, 20]
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyRecorder().mean()
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyRecorder(warmup=-1)
+
+
+class TestRates:
+    def test_throughput(self):
+        # 3000 completions in 3e9 cycles at 3 GHz = one second
+        assert throughput_per_second(3000, 3e9, 3.0) == pytest.approx(3000)
+
+    def test_utilization(self):
+        assert utilization(500, 1000) == pytest.approx(0.5)
+        assert utilization(500, 1000, servers=2) == pytest.approx(0.25)
+
+    def test_ratio_handles_zero(self):
+        assert ratio(1, 0) == float("inf")
+        assert ratio(10, 5) == 2
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1, 0])
+
+    def test_throughput_rejects_zero_elapsed(self):
+        with pytest.raises(ConfigError):
+            throughput_per_second(1, 0)

@@ -1,0 +1,104 @@
+"""Tests for tables and experiment-result reports."""
+
+import pytest
+
+from repro.analysis import Claim, ExperimentResult, Table, Verdict
+from repro.errors import ConfigError
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("a", 1)
+        t.add_row("bb", 22)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row(1234.5)
+        t.add_row(12.34)
+        t.add_row(0.1234)
+        t.add_row(0)
+        col = t.column("v")
+        assert col == ["1,234", "12.3", "0.123", "0"]
+
+    def test_row_arity_enforced(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ConfigError):
+            t.add_row(1)
+
+    def test_dict_row(self):
+        t = Table(["x", "y"])
+        t.add_dict_row({"y": 2, "x": 1})
+        assert t.column("x") == ["1"]
+
+    def test_markdown_render(self):
+        t = Table(["a"], title="T")
+        t.add_row("v")
+        md = t.render_markdown()
+        assert "| a |" in md
+        assert "|---|" in md
+        assert "| v |" in md
+
+    def test_unknown_column_rejected(self):
+        t = Table(["a"])
+        with pytest.raises(ConfigError):
+            t.column("missing")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigError):
+            Table([])
+
+    def test_len(self):
+        t = Table(["a"])
+        assert len(t) == 0
+        t.add_row(1)
+        assert len(t) == 1
+
+
+class TestExperimentResult:
+    def test_claims_and_verdicts(self):
+        r = ExperimentResult("EXX", "demo")
+        r.add_claim("c1", "p", "m")
+        r.add_claim("c2", "p", "m", Verdict.PARTIAL)
+        assert r.all_supported()
+        r.add_claim("c3", "p", "m", Verdict.REFUTED)
+        assert not r.all_supported()
+
+    def test_claim_table_rows(self):
+        r = ExperimentResult("EXX", "demo")
+        r.add_claim("the claim", "10", "11")
+        table = r.claim_table()
+        assert len(table) == 1
+        assert "supported" in table.rows[0]
+
+    def test_render_includes_tables_and_claims(self):
+        r = ExperimentResult("EXX", "demo")
+        t = Table(["col"])
+        t.add_row("cell")
+        r.add_table(t)
+        r.add_claim("c", "p", "m")
+        text = r.render()
+        assert "EXX" in text and "cell" in text and "supported" in text
+
+    def test_render_markdown(self):
+        r = ExperimentResult("EXX", "demo")
+        r.add_claim("c", "p", "m")
+        md = r.render_markdown()
+        assert md.startswith("### EXX")
+
+    def test_series_lookup(self):
+        r = ExperimentResult("EXX", "demo")
+        r.data["a"] = [1, 2]
+        assert r.series("a") == [1, 2]
+        with pytest.raises(ConfigError) as err:
+            r.series("b")
+        assert "'a'" in str(err.value)
+
+    def test_claim_as_row(self):
+        c = Claim("x", "1", "2", Verdict.SUPPORTED)
+        assert c.as_row() == ("x", "1", "2", "supported")

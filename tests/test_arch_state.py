@@ -1,0 +1,99 @@
+"""Tests for ArchState register access semantics."""
+
+import pytest
+
+from repro.arch import ArchState
+from repro.arch.registers import RegisterClass
+from repro.errors import IsaError
+
+
+def test_initial_state_is_zeroed_user_mode():
+    state = ArchState()
+    assert state.read("r0") == 0
+    assert state.read("pc") == 0
+    assert state.priv == 0
+    assert not state.supervisor
+
+
+def test_supervisor_construction():
+    assert ArchState(supervisor=True).supervisor
+
+
+def test_gpr_read_write_roundtrip():
+    state = ArchState()
+    state.write("r5", 1234)
+    assert state.read("r5") == 1234
+    assert state.read("r4") == 0
+
+
+def test_control_register_access():
+    state = ArchState()
+    state.write("edp", 0x8000)
+    state.write("tdtr", 0x9000)
+    assert state.read("edp") == 0x8000
+    assert state.read("tdtr") == 0x9000
+
+
+def test_priv_write_normalizes_to_bool():
+    state = ArchState()
+    state.write("priv", 42)
+    assert state.read("priv") == 1
+    state.write("priv", 0)
+    assert state.read("priv") == 0
+
+
+def test_unknown_register_raises():
+    state = ArchState()
+    with pytest.raises(IsaError):
+        state.read("xyzzy")
+    with pytest.raises(IsaError):
+        state.write("r99", 1)
+
+
+def test_vector_write_sets_dirty_and_grows_footprint():
+    state = ArchState()
+    assert not state.vector_dirty
+    assert state.footprint_bytes() == 272
+    state.write("v3", 7)
+    assert state.vector_dirty
+    assert state.footprint_bytes() == 784
+
+
+def test_plain_writes_do_not_dirty_vector_state():
+    state = ArchState()
+    state.write("r1", 1)
+    state.write("pc", 100)
+    assert state.footprint_bytes() == 272
+
+
+def test_snapshot_roundtrip():
+    state = ArchState()
+    state.write("r2", 5)
+    state.write("pc", 64)
+    state.write("edp", 0x100)
+    snap = state.snapshot()
+    other = ArchState()
+    other.load_snapshot(snap)
+    assert other.read("r2") == 5
+    assert other.read("pc") == 64
+    assert other.read("edp") == 0x100
+
+
+def test_reset_clears_and_sets_pc():
+    state = ArchState()
+    state.write("r1", 9)
+    state.write("v1", 9)
+    state.reset(pc=0x40, supervisor=True)
+    assert state.read("r1") == 0
+    assert state.read("pc") == 0x40
+    assert state.supervisor
+    assert not state.vector_dirty
+
+
+def test_register_class_lookup():
+    state = ArchState()
+    assert state.register_class("r0") is RegisterClass.GENERAL
+    assert state.register_class("pc") is RegisterClass.PC
+    assert state.register_class("tdtr") is RegisterClass.PRIVILEGED
+    with pytest.raises(IsaError):
+        state.register_class("bogus")

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 14):
+            assert f"E{i:02d}" in out
+
+    def test_anchors_shown(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+
+class TestRun:
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "E10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+
+    def test_lowercase_id_accepted(self, capsys):
+        assert main(["run", "e10", "--quick"]) == 0
+
+    def test_unknown_id_fails_with_message(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "E01" in capsys.readouterr().err
+
+    def test_seed_parses_hex(self, capsys):
+        assert main(["run", "E10", "--quick", "--seed", "0xBEEF"]) == 0
+
+
+class TestJsonOutput:
+    def test_run_json_is_parseable(self, capsys):
+        import json
+        assert main(["run", "E10", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "E10"
+        assert payload["claims"]
+        assert all(c["verdict"] == "supported" for c in payload["claims"])
+        assert payload["tables"][0]["columns"]
+
+
+class TestIsaReference:
+    def test_lists_proposed_instructions(self, capsys):
+        assert main(["isa"]) == 0
+        out = capsys.readouterr().out
+        for op in ("monitor", "mwait", "start", "stop", "rpull",
+                   "rpush", "invtid"):
+            assert op in out
+
+
+class TestSensitivity:
+    def test_prints_break_even_table(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "mode_switch_cycles" in out
+        assert "safety margin" in out
+
+
+class TestMisc:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "E01" in result.stdout

@@ -1,0 +1,143 @@
+"""Tests for the NIC model."""
+
+import pytest
+
+from repro.devices import Nic
+from repro.errors import ConfigError
+from repro.machine import build_machine
+from repro.mem.memory import WORD_BYTES
+from repro.workloads import DeterministicArrivals, PoissonArrivals
+
+
+def make_nic(**kwargs):
+    machine = build_machine()
+    nic = Nic(machine.engine, machine.memory, machine.dma, **kwargs)
+    return machine, nic
+
+
+class TestRxPath:
+    def test_packets_land_with_descriptor_and_tail(self):
+        machine, nic = make_nic()
+        nic.start_rx(DeterministicArrivals(1000),
+                     machine.rngs.stream("rx"), max_packets=3)
+        machine.run(until=100_000)
+        assert nic.packets_delivered == 3
+        assert machine.memory.load(nic.rx.tail_addr) == 3
+        # first descriptor: length and payload pointer are filled
+        desc0 = nic.rx.slot_desc_addr(0)
+        assert machine.memory.load(desc0) == nic.rx.payload_words * WORD_BYTES
+        assert machine.memory.load(desc0 + WORD_BYTES) \
+            == nic.rx.slot_buffer_addr(0)
+
+    def test_payload_lands_before_tail_advances(self):
+        machine, nic = make_nic()
+        seen = []
+
+        def on_tail(info):
+            # at tail-write time the payload must already be in memory
+            seq = info["value"] - 1
+            buf = nic.rx.slot_buffer_addr(seq)
+            seen.append(machine.memory.load(buf))
+
+        machine.memory.watch_bus.subscribe(nic.rx.tail_addr, on_tail)
+        nic.start_rx(DeterministicArrivals(500),
+                     machine.rngs.stream("rx"), max_packets=2)
+        machine.run(until=100_000)
+        assert seen == [0, 1]  # payload word 0 carries the seq number
+
+    def test_consume_pops_in_order(self):
+        machine, nic = make_nic()
+        nic.start_rx(DeterministicArrivals(500),
+                     machine.rngs.stream("rx"), max_packets=4)
+        machine.run(until=100_000)
+        seqs = []
+        while True:
+            pkt = nic.rx.consume()
+            if pkt is None:
+                break
+            seqs.append(pkt["seq"])
+        assert seqs == [0, 1, 2, 3]
+        assert nic.rx.pending() == 0
+
+    def test_ring_overflow_drops(self):
+        machine, nic = make_nic(rx_slots=4)
+        # nobody consumes: only 4 packets fit
+        nic.start_rx(DeterministicArrivals(100),
+                     machine.rngs.stream("rx"), max_packets=10)
+        machine.run(until=1_000_000)
+        assert nic.packets_delivered == 4
+        assert nic.packets_dropped == 6
+
+    def test_consuming_frees_slots(self):
+        machine, nic = make_nic(rx_slots=4)
+        machine.memory.watch_bus.subscribe(
+            nic.rx.tail_addr, lambda info: nic.rx.consume())
+        nic.start_rx(DeterministicArrivals(1000),
+                     machine.rngs.stream("rx"), max_packets=10)
+        machine.run(until=1_000_000)
+        assert nic.packets_delivered == 10
+        assert nic.packets_dropped == 0
+
+    def test_overlapping_dma_keeps_tail_monotonic(self):
+        # arrivals faster than the DMA latency: tail must still step 1,2,3...
+        machine, nic = make_nic()
+        tails = []
+        machine.memory.watch_bus.subscribe(
+            nic.rx.tail_addr, lambda info: tails.append(info["value"]))
+        nic.start_rx(DeterministicArrivals(10),
+                     machine.rngs.stream("rx"), max_packets=8)
+        machine.run(until=1_000_000)
+        assert tails == list(range(1, 9))
+
+    def test_stop_rx_halts_generation(self):
+        machine, nic = make_nic()
+        nic.start_rx(DeterministicArrivals(100),
+                     machine.rngs.stream("rx"))
+        machine.engine.at(450, nic.stop_rx)
+        machine.run(until=10_000)
+        assert nic.packets_generated == 4
+
+    def test_delivery_times_recorded(self):
+        machine, nic = make_nic()
+        nic.start_rx(PoissonArrivals(2000), machine.rngs.stream("rx"),
+                     max_packets=5)
+        machine.run(until=1_000_000)
+        assert set(nic.delivery_time) == set(range(5))
+        for seq in range(5):
+            assert nic.delivery_time[seq] >= nic.generated_time[seq]
+
+
+class TestTxPath:
+    def test_doorbell_produces_completion(self):
+        machine, nic = make_nic()
+        machine.memory.store(nic.tx.doorbell_addr, 1)
+        machine.run(until=100_000)
+        assert nic.tx_completed == 1
+        assert machine.memory.load(nic.tx.completion_addr) == 1
+
+    def test_multiple_doorbells(self):
+        machine, nic = make_nic()
+        for i in range(3):
+            machine.engine.at(1000 * (i + 1), machine.memory.store,
+                              nic.tx.doorbell_addr, i + 1, "cpu")
+        machine.run(until=100_000)
+        assert nic.tx_completed == 3
+
+    def test_completion_write_wakes_watcher(self):
+        machine, nic = make_nic()
+        hits = []
+        machine.memory.watch_bus.subscribe(
+            nic.tx.completion_addr, lambda info: hits.append(info))
+        machine.memory.store(nic.tx.doorbell_addr, 1)
+        machine.run(until=100_000)
+        assert len(hits) == 1
+
+
+class TestValidation:
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ConfigError):
+            make_nic(rx_slots=0)
+
+    def test_zero_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            make_nic(payload_words=0)

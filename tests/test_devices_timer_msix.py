@@ -1,0 +1,131 @@
+"""Tests for the APIC timer and MSI-X translation."""
+
+import pytest
+
+from repro.devices import ApicTimer, MsixTranslator
+from repro.errors import ConfigError
+from repro.mem.memory import Memory
+from repro.sim.engine import Engine
+
+
+def make_env():
+    engine = Engine()
+    memory = Memory()
+    return engine, memory
+
+
+class TestApicTimer:
+    def test_counter_increments_per_tick(self):
+        engine, memory = make_env()
+        word = memory.alloc("ctr", 8)
+        timer = ApicTimer(engine, memory, word.base, period_cycles=100,
+                          max_ticks=5)
+        timer.start()
+        engine.run()
+        assert memory.load(word.base) == 5
+        assert timer.ticks == 5
+
+    def test_tick_times_are_periodic(self):
+        engine, memory = make_env()
+        word = memory.alloc("ctr", 8)
+        times = []
+        memory.watch_bus.subscribe(word.base,
+                                   lambda info: times.append(engine.now))
+        ApicTimer(engine, memory, word.base, 250, max_ticks=4).start()
+        engine.run()
+        assert times == [250, 500, 750, 1000]
+
+    def test_counter_write_wakes_monitor(self):
+        # the paper's exact mechanism: a thread monitors the tick counter
+        engine, memory = make_env()
+        word = memory.alloc("ctr", 8)
+        watch = memory.watch_bus.watch(word.base)
+        fired = []
+        watch.signal.add_waiter(lambda info: fired.append(info))
+        ApicTimer(engine, memory, word.base, 10, max_ticks=1).start()
+        engine.run()
+        assert fired and fired[0]["source"].startswith("apic:")
+
+    def test_stop_halts_ticking(self):
+        engine, memory = make_env()
+        word = memory.alloc("ctr", 8)
+        timer = ApicTimer(engine, memory, word.base, 100)
+        timer.start()
+        engine.at(350, timer.stop)
+        engine.run(until=2000)
+        assert timer.ticks == 3
+
+    def test_legacy_irq_called_alongside_write(self):
+        engine, memory = make_env()
+        word = memory.alloc("ctr", 8)
+        irqs = []
+        timer = ApicTimer(engine, memory, word.base, 100,
+                          legacy_irq=irqs.append, max_ticks=3)
+        timer.start()
+        engine.run()
+        assert irqs == [1, 2, 3]
+
+    def test_double_start_rejected(self):
+        engine, memory = make_env()
+        word = memory.alloc("ctr", 8)
+        timer = ApicTimer(engine, memory, word.base, 100)
+        timer.start()
+        with pytest.raises(ConfigError):
+            timer.start()
+
+    def test_bad_period_rejected(self):
+        engine, memory = make_env()
+        with pytest.raises(ConfigError):
+            ApicTimer(engine, memory, 0, period_cycles=0)
+
+
+class TestMsixTranslator:
+    def test_translated_vector_writes_memory(self):
+        _engine, memory = make_env()
+        word = memory.alloc("vec9", 8)
+        msix = MsixTranslator(memory)
+        msix.map_vector(9, word.base)
+        assert msix.raise_irq(9) is True
+        assert msix.raise_irq(9) is True
+        assert memory.load(word.base) == 2  # fetch-add: events counted
+
+    def test_translation_wakes_watcher(self):
+        _engine, memory = make_env()
+        word = memory.alloc("vec1", 8)
+        msix = MsixTranslator(memory)
+        msix.map_vector(1, word.base)
+        hits = []
+        memory.watch_bus.watch(word.base).signal.add_waiter(hits.append)
+        msix.raise_irq(1)
+        assert hits and hits[0]["source"].startswith("msix:")
+
+    def test_unmapped_falls_back_to_legacy(self):
+        _engine, memory = make_env()
+        legacy = []
+        msix = MsixTranslator(memory, legacy_fallback=legacy.append)
+        assert msix.raise_irq(5) is False
+        assert legacy == [5]
+        assert msix.fell_back == 1
+
+    def test_unmapped_without_fallback_rejected(self):
+        _engine, memory = make_env()
+        msix = MsixTranslator(memory)
+        with pytest.raises(ConfigError):
+            msix.raise_irq(3)
+
+    def test_unmap_restores_fallback(self):
+        _engine, memory = make_env()
+        word = memory.alloc("v", 8)
+        legacy = []
+        msix = MsixTranslator(memory, legacy_fallback=legacy.append)
+        msix.map_vector(2, word.base)
+        msix.raise_irq(2)
+        msix.unmap_vector(2)
+        msix.raise_irq(2)
+        assert memory.load(word.base) == 1
+        assert legacy == [2]
+
+    def test_negative_vector_rejected(self):
+        _engine, memory = make_env()
+        with pytest.raises(ConfigError):
+            MsixTranslator(memory).map_vector(-1, 0x1000)

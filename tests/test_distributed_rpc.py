@@ -1,0 +1,124 @@
+"""Tests for the RPC server designs."""
+
+import pytest
+
+from repro.arch.costs import CostModel
+from repro.distributed import (
+    EVENT_LOOP,
+    HW_THREADS,
+    SW_THREADS,
+    RpcServerModel,
+    RpcWorkload,
+    ServerDesign,
+)
+from repro.errors import ConfigError
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads import Constant, Exponential, PoissonArrivals
+
+
+def run_workload(design, mean_gap=10_000, service=Constant(3_000),
+                 requests=100, segments=3, rtt=5_000, seed=1):
+    engine = Engine()
+    server = RpcServerModel(engine, design, CostModel())
+    RpcWorkload(engine, server, PoissonArrivals(mean_gap), service,
+                RngStreams(seed).stream("w"), segments=segments,
+                rtt_cycles=rtt, max_requests=requests)
+    engine.run()
+    return engine, server
+
+
+class TestTransitionOverheads:
+    def test_hw_cheapest_sw_most_expensive(self):
+        costs = CostModel()
+        hw = HW_THREADS.transition_overhead_cycles(costs)
+        sw = SW_THREADS.transition_overhead_cycles(costs)
+        el = EVENT_LOOP.transition_overhead_cycles(costs)
+        assert hw < el < sw
+        assert sw > 100 * hw / 10  # sw pays the full scheduler chain
+
+    def test_unknown_design_rejected(self):
+        bogus = ServerDesign("green-threads", "ps")
+        with pytest.raises(ConfigError):
+            bogus.transition_overhead_cycles(CostModel())
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ConfigError):
+            RpcServerModel(Engine(), ServerDesign("hw-threads", "lifo"))
+
+
+class TestRpcServerModel:
+    def test_all_requests_complete(self):
+        for design in (HW_THREADS, SW_THREADS, EVENT_LOOP):
+            _engine, server = run_workload(design, requests=50)
+            assert server.completed == 50, design.name
+
+    def test_latency_includes_rtts(self):
+        _engine, server = run_workload(HW_THREADS, requests=20,
+                                       segments=3, rtt=5_000)
+        # 2 remote calls between 3 segments: at least 10k of RTT + service
+        assert server.recorder.pct(50) >= 2 * 5_000 + 3_000
+
+    def test_single_segment_skips_rtt(self):
+        _engine, server = run_workload(HW_THREADS, requests=20,
+                                       segments=1, rtt=50_000)
+        assert server.recorder.pct(50) < 50_000
+
+    def test_sw_threads_burn_more_cpu(self):
+        _e, hw = run_workload(HW_THREADS, requests=60)
+        _e, sw = run_workload(SW_THREADS, requests=60)
+        assert sw.cpu_busy_cycles() > hw.cpu_busy_cycles()
+
+    def test_concurrency_tracked(self):
+        _engine, server = run_workload(HW_THREADS, mean_gap=2_000,
+                                       requests=50, rtt=20_000)
+        assert server.peak_concurrency > 1
+        assert server.active == 0
+
+    def test_empty_segments_rejected(self):
+        server = RpcServerModel(Engine(), HW_THREADS)
+        with pytest.raises(ConfigError):
+            server.submit(0, [], 100)
+
+
+class TestShapes:
+    def test_sw_threads_saturate_before_hw(self):
+        # offered load ~0.85 of base service: sw overhead pushes it over
+        service = Exponential(4_000)
+        mean_gap = 4_000 / 0.85
+        _e, hw = run_workload(HW_THREADS, mean_gap=mean_gap,
+                              service=service, requests=300)
+        _e, sw = run_workload(SW_THREADS, mean_gap=mean_gap,
+                              service=service, requests=300)
+        assert sw.recorder.pct(99) > hw.recorder.pct(99)
+
+    def test_event_loop_matches_hw_on_throughput(self):
+        service = Exponential(4_000)
+        _e, hw = run_workload(HW_THREADS, service=service, requests=200)
+        _e, el = run_workload(EVENT_LOOP, service=service, requests=200)
+        assert el.completed == hw.completed
+
+
+class TestRpcWorkload:
+    def test_cpu_demand_accounts_overhead(self):
+        engine = Engine()
+        server = RpcServerModel(engine, SW_THREADS, CostModel())
+        workload = RpcWorkload(engine, server, PoissonArrivals(10_000),
+                               Constant(3_000), RngStreams(1).stream("w"),
+                               segments=2, max_requests=1)
+        overhead = SW_THREADS.transition_overhead_cycles(CostModel())
+        assert workload.cpu_demand_per_request() == 3_000 + 2 * overhead
+
+    def test_rejects_zero_requests(self):
+        engine = Engine()
+        server = RpcServerModel(engine, HW_THREADS)
+        with pytest.raises(ConfigError):
+            RpcWorkload(engine, server, PoissonArrivals(100), Constant(10),
+                        RngStreams(1).stream("w"), max_requests=0)
+
+    def test_rejects_zero_segments(self):
+        engine = Engine()
+        server = RpcServerModel(engine, HW_THREADS)
+        with pytest.raises(ConfigError):
+            RpcWorkload(engine, server, PoissonArrivals(100), Constant(10),
+                        RngStreams(1).stream("w"), segments=0)

@@ -1,0 +1,41 @@
+"""The committed docs/ files must match what the code generates."""
+
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "examples"))
+
+import generate_docs  # noqa: E402
+
+
+@pytest.mark.parametrize("name", sorted(generate_docs.GENERATORS))
+def test_doc_is_fresh(name):
+    committed = (ROOT / "docs" / name).read_text()
+    regenerated = generate_docs.GENERATORS[name]()
+    assert committed == regenerated, (
+        f"docs/{name} is stale; run `python examples/generate_docs.py`")
+
+
+def test_isa_doc_covers_every_opcode():
+    from repro.isa.instructions import OPS
+    text = generate_docs.isa_markdown()
+    for op in OPS:
+        assert f"`{op}`" in text
+
+
+def test_cost_doc_covers_every_constant():
+    import dataclasses
+    from repro.arch.costs import CostModel
+    text = generate_docs.cost_model_markdown()
+    for field in dataclasses.fields(CostModel()):
+        assert f"`{field.name}`" in text
+
+
+def test_experiments_doc_covers_registry():
+    from repro.experiments import all_experiments
+    text = generate_docs.experiments_markdown()
+    for experiment in all_experiments():
+        assert experiment.experiment_id in text

@@ -1,0 +1,169 @@
+"""Failure-injection tests: the system's behavior when things go wrong.
+
+The paper's design replaces trap-based control flow with memory-visible
+state, so every failure must land somewhere inspectable: a descriptor, a
+halted core, a drop counter -- never silent corruption.
+"""
+
+import pytest
+
+from repro.devices import Nic, Ssd
+from repro.devices.ssd import OP_READ
+from repro.errors import TripleFault
+from repro.hw.exceptions import ExceptionDescriptor, descriptor_present
+from repro.hw.ptid import PtidState
+from repro.hw.tdt import Permission
+from repro.machine import build_machine
+from repro.workloads import DeterministicArrivals
+
+
+class TestUnhandledFaults:
+    def test_fault_with_no_edp_triple_faults(self):
+        machine = build_machine()
+        machine.load_asm(0, "movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt",
+                         supervisor=True)  # edp defaults to 0
+        machine.boot(0)
+        machine.run(until=10_000)
+        assert machine.core(0).halted
+        with pytest.raises(TripleFault) as err:
+            machine.check()
+        assert "DIV_ZERO" in str(err.value)
+
+    def test_fault_in_handlerless_chain_is_contained_per_core(self):
+        # core 0 dies; a two-core machine keeps core 1 alive
+        machine = build_machine(cores=2)
+        machine.load_asm(0, "trap 1\nhalt", core_id=0, supervisor=False)
+        machine.load_asm(0, "work 500\nmovi r1, 1\nhalt", core_id=1,
+                         supervisor=True)
+        machine.boot(0, core_id=0)
+        machine.boot(0, core_id=1)
+        machine.run(until=10_000)
+        assert machine.core(0).halted
+        assert machine.thread(0, core_id=1).finished
+
+    def test_faulted_thread_stays_disabled_until_restarted(self):
+        machine = build_machine()
+        edp = machine.alloc("edp", 64)
+        machine.load_asm(0, "trap 9\nhalt", supervisor=False, edp=edp.base)
+        machine.boot(0)
+        machine.run(until=10_000)
+        thread = machine.thread(0)
+        assert thread.state is PtidState.DISABLED
+        assert descriptor_present(machine.memory, edp.base)
+        # nobody handles it; the descriptor just sits there, inspectable
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        assert descriptor.kind.name == "SYSCALL"
+        assert descriptor.address == 9
+
+
+class TestDescriptorOverwrite:
+    def test_second_fault_overwrites_descriptor_with_new_seq(self):
+        """A handler that reads too slowly can detect the overwrite via
+        the sequence word -- two faults, two different seqs."""
+        machine = build_machine()
+        edp = machine.alloc("edp", 64)
+        seqs = []
+        machine.memory.watch_bus.subscribe(
+            edp.base,
+            lambda info: seqs.append(info["value"])
+            if info["addr"] == edp.base else None)
+        machine.load_asm(0, "trap 1\nhalt", supervisor=False, edp=edp.base)
+        machine.boot(0)
+        machine.run(until=5_000)
+        # a (buggy) manager rewinds the pc to the trap and restarts
+        machine.thread(0).arch.pc = 0
+        machine.core(0).api_start(0)
+        machine.run(until=10_000)
+        nonzero = [s for s in seqs if s != 0]
+        assert len(nonzero) >= 2
+        assert nonzero[0] != nonzero[1]
+
+
+class TestDeviceOverload:
+    def test_nic_overflow_counts_drops_not_corruption(self):
+        machine = build_machine()
+        nic = Nic(machine.engine, machine.memory, machine.dma, rx_slots=2)
+        nic.start_rx(DeterministicArrivals(100),
+                     machine.rngs.stream("rx"), max_packets=20)
+        machine.run(until=1_000_000)
+        assert nic.packets_delivered == 2
+        assert nic.packets_dropped == 18
+        # delivered descriptors are intact
+        assert machine.memory.load(nic.rx.slot_desc_addr(0)) > 0
+
+    def test_ssd_queue_wraps_without_losing_commands(self):
+        machine = build_machine()
+        ssd = Ssd(machine.engine, machine.memory, machine.dma,
+                  queue_slots=4, read_latency_cycles=10)
+        dest = machine.alloc("dest", 4096)
+        for i in range(10):
+            machine.engine.at(i * 2_000, ssd.submit, OP_READ, i,
+                              dest.base + i * 64, 1, "cpu")
+        machine.run(until=1_000_000)
+        assert ssd.commands_completed == 10
+
+
+class TestMisconfiguration:
+    def test_tdt_mapping_to_nonexistent_ptid_faults_cleanly(self):
+        machine = build_machine(hw_threads_per_core=8)
+        tdt = machine.build_tdt("bad", {0: (99, Permission.ALL)})
+        edp = machine.alloc("edp", 64)
+        machine.load_asm(0, "start 0\nhalt", supervisor=False,
+                         tdtr=tdt.base, edp=edp.base)
+        machine.boot(0)
+        machine.run(until=10_000)
+        machine.check()
+        assert descriptor_present(machine.memory, edp.base)
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        assert descriptor.kind.name == "PERMISSION_FAULT"
+
+    def test_user_thread_with_no_tdt_cannot_manage(self):
+        machine = build_machine()
+        edp = machine.alloc("edp", 64)
+        machine.load_asm(0, "stop 1\nhalt", supervisor=False, edp=edp.base)
+        machine.boot(0)
+        machine.run(until=10_000)
+        machine.check()
+        assert descriptor_present(machine.memory, edp.base)
+
+    def test_stale_tdt_cache_without_invtid(self):
+        """DESIGN.md: a stale cache after an un-invalidated update is
+        *correct* modeled behavior."""
+        machine = build_machine()
+        tdt = machine.build_tdt("t", {0: (1, Permission.ALL)})
+        machine.load_asm(1, "spin:\n    jmp spin", supervisor=False)
+        machine.boot(1)
+        machine.load_asm(2, "spin:\n    jmp spin", supervisor=False)
+        machine.boot(2)
+        machine.load_asm(0, """
+            stop 0
+            work 50
+            stop 0
+            halt
+        """, supervisor=False, tdtr=tdt.base)
+        # after the first stop, retarget vtid 0 -> ptid 2 WITHOUT invtid
+        def retarget(_info):
+            tdt.set_entry(0, 2, Permission.ALL)
+        hits = {"done": False}
+        def once(info):
+            if not hits["done"]:
+                hits["done"] = True
+                retarget(info)
+        machine.memory.watch_bus.subscribe(tdt.entry_addr(0), lambda i: None)
+        machine.boot(0)
+        # retarget right after boot (the first stop will have been
+        # translated and cached by then or soon after)
+        machine.engine.at(20, retarget, None)
+        machine.run(until=10_000)
+        machine.check()
+        # the stale cached translation means BOTH stops hit ptid 1
+        assert machine.thread(1).stops == 2
+        assert machine.thread(2).stops == 0
+
+    def test_engine_max_events_bounds_runaway(self):
+        machine = build_machine()
+        machine.load_asm(0, "spin:\n    jmp spin", supervisor=True)
+        machine.boot(0)
+        machine.run(max_events=1_000)
+        assert machine.engine.events_processed <= 1_001
+        assert not machine.thread(0).finished  # still spinning, bounded

@@ -1,0 +1,137 @@
+"""Tests for the multi-core chip: shared memory, migration, accounting."""
+
+import pytest
+
+from repro.errors import ConfigError, TripleFault
+from repro.hw.ptid import PtidState
+from repro.machine import build_machine
+
+
+class TestMultiCore:
+    def test_cores_share_memory_and_watch_bus(self):
+        machine = build_machine(cores=2)
+        word = machine.alloc("shared", 64)
+        # ptid on core 1 waits; ptid on core 0 writes
+        machine.load_asm(0, """
+            movi r1, WORD
+            monitor r1
+            mwait
+            ld r2, r1, 0
+            halt
+        """, symbols={"WORD": word.base}, core_id=1, supervisor=True)
+        machine.load_asm(0, """
+            work 200
+            movi r1, WORD
+            movi r2, 99
+            st r1, 0, r2
+            halt
+        """, symbols={"WORD": word.base}, core_id=0, supervisor=True)
+        machine.boot(0, core_id=0)
+        machine.boot(0, core_id=1)
+        machine.run(until=100_000)
+        machine.check()
+        assert machine.thread(0, core_id=1).arch.read("r2") == 99
+
+    def test_core_out_of_range(self):
+        machine = build_machine(cores=2)
+        with pytest.raises(ConfigError):
+            machine.core(2)
+
+    def test_total_instructions_aggregates(self):
+        machine = build_machine(cores=2)
+        for core_id in (0, 1):
+            machine.load_asm(0, "movi r1, 1\nhalt", core_id=core_id,
+                             supervisor=True)
+            machine.boot(0, core_id=core_id)
+        machine.run(until=10_000)
+        assert machine.chip.total_instructions >= 4
+
+    def test_one_core_halting_does_not_halt_the_other(self):
+        machine = build_machine(cores=2)
+        # core 0: fault with no handler (triple fault); core 1: fine
+        machine.load_asm(0, "movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt",
+                         core_id=0, supervisor=True)
+        machine.load_asm(0, "movi r1, 7\nhalt", core_id=1, supervisor=True)
+        machine.boot(0, core_id=0)
+        machine.boot(0, core_id=1)
+        machine.run(until=10_000)
+        assert machine.core(0).halted
+        assert not machine.core(1).halted
+        assert machine.thread(0, core_id=1).arch.read("r1") == 7
+        with pytest.raises(TripleFault):
+            machine.check()
+
+
+class TestMigration:
+    def _machine_with_paused_worker(self):
+        machine = build_machine(cores=2)
+        machine.load_asm(0, """
+            movi r1, 41
+            stop 0
+            addi r1, r1, 1
+            halt
+        """, core_id=0, supervisor=True)
+        machine.boot(0, core_id=0)
+        machine.run(until=10_000)
+        source = machine.thread(0, core_id=0)
+        assert source.state is PtidState.DISABLED
+        assert source.arch.read("r1") == 41
+        return machine
+
+    def test_migrate_moves_state_and_resumes(self):
+        machine = self._machine_with_paused_worker()
+        latency = machine.chip.migrate(0, 0, 1, 5)
+        assert latency == machine.costs.hw_start_l3_cycles
+        machine.core(1).boot(5)
+        machine.run(until=50_000)
+        machine.check()
+        dest = machine.thread(5, core_id=1)
+        assert dest.finished
+        assert dest.arch.read("r1") == 42  # resumed mid-program
+
+    def test_migration_counted(self):
+        machine = self._machine_with_paused_worker()
+        machine.chip.migrate(0, 0, 1, 5)
+        assert machine.chip.migrations == 1
+
+    def test_priority_travels_with_the_thread(self):
+        machine = self._machine_with_paused_worker()
+        machine.core(0).set_priority(0, 7)
+        machine.chip.migrate(0, 0, 1, 5)
+        assert machine.thread(5, core_id=1).priority == 7
+
+    def test_source_must_be_disabled(self):
+        machine = build_machine(cores=2)
+        machine.load_asm(0, "spin:\n    jmp spin", core_id=0,
+                         supervisor=True)
+        machine.boot(0, core_id=0)
+        machine.run(max_events=50)
+        with pytest.raises(ConfigError):
+            machine.chip.migrate(0, 0, 1, 5)
+
+    def test_target_must_be_disabled(self):
+        machine = self._machine_with_paused_worker()
+        machine.load_asm(5, "spin:\n    jmp spin", core_id=1,
+                         supervisor=True)
+        machine.core(1).boot(5)
+        with pytest.raises(ConfigError):
+            machine.chip.migrate(0, 0, 1, 5)
+
+    def test_self_migration_rejected(self):
+        machine = self._machine_with_paused_worker()
+        with pytest.raises(ConfigError):
+            machine.chip.migrate(0, 0, 0, 0)
+
+    def test_vector_state_travels(self):
+        machine = build_machine(cores=2)
+        machine.load_asm(0, """
+            vmovi v0, 13
+            stop 0
+            halt
+        """, core_id=0, supervisor=True)
+        machine.boot(0, core_id=0)
+        machine.run(until=10_000)
+        machine.chip.migrate(0, 0, 1, 3)
+        dest = machine.thread(3, core_id=1)
+        assert dest.arch.read("v0") == 13
+        assert dest.arch.vector_dirty

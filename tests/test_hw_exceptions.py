@@ -1,0 +1,244 @@
+"""Tests for exceptions-as-data: descriptors, handler chains, triple fault."""
+
+import pytest
+
+from repro import build_machine
+from repro.errors import TripleFault
+from repro.hw import ExceptionDescriptor, ExceptionKind, PtidState
+from repro.hw.exceptions import acknowledge, descriptor_present
+from repro.mem import Memory
+
+
+class TestDescriptorEncoding:
+    def test_write_read_roundtrip(self):
+        mem = Memory()
+        edp = mem.alloc("edp", 64).base
+        descriptor = ExceptionDescriptor.build(
+            ExceptionKind.PAGE_FAULT, ptid=3, pc=17, address=0xDEAD0, timestamp=42)
+        descriptor.write(mem, edp)
+        back = ExceptionDescriptor.read(mem, edp)
+        assert back == descriptor
+
+    def test_sequence_numbers_increase(self):
+        d1 = ExceptionDescriptor.build(ExceptionKind.DIV_ZERO, 0, 0, 0, 0)
+        d2 = ExceptionDescriptor.build(ExceptionKind.DIV_ZERO, 0, 0, 0, 0)
+        assert d2.seq > d1.seq > 0
+
+    def test_descriptor_present_and_acknowledge(self):
+        mem = Memory()
+        edp = mem.alloc("edp", 64).base
+        assert not descriptor_present(mem, edp)
+        ExceptionDescriptor.build(
+            ExceptionKind.SYSCALL, 1, 2, 3, 4).write(mem, edp)
+        assert descriptor_present(mem, edp)
+        descriptor = acknowledge(mem, edp)
+        assert descriptor.kind is ExceptionKind.SYSCALL
+        assert not descriptor_present(mem, edp)
+
+    def test_descriptor_write_triggers_watch_on_edp_line(self):
+        # this is how handler ptids learn about exceptions
+        mem = Memory()
+        edp = mem.alloc("edp", 64).base
+        watch = mem.watch_bus.watch(edp)
+        ExceptionDescriptor.build(ExceptionKind.DIV_ZERO, 0, 0, 0, 0).write(mem, edp)
+        assert watch.trigger_count >= 1
+
+
+class TestFaultingGuests:
+    def _machine_with_handler_area(self):
+        machine = build_machine(hw_threads_per_core=16)
+        edp = machine.alloc("edp0", 64)
+        return machine, edp
+
+    def _run_faulting(self, source, symbols=None):
+        machine, edp = self._machine_with_handler_area()
+        machine.load_asm(0, source, symbols=symbols, supervisor=True,
+                         edp=edp.base)
+        machine.boot(0)
+        machine.run(until=100_000)
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        return machine, descriptor
+
+    def test_div_zero_writes_descriptor_and_disables(self):
+        machine, descriptor = self._run_faulting("""
+            movi r1, 10
+            movi r2, 0
+            div r3, r1, r2
+            halt
+        """)
+        assert descriptor.kind is ExceptionKind.DIV_ZERO
+        assert descriptor.pc == 2  # the div
+        thread = machine.thread(0)
+        assert thread.state is PtidState.DISABLED
+        assert not thread.finished
+        assert thread.exceptions_raised == 1
+
+    def test_misaligned_load_faults_with_address(self):
+        machine, descriptor = self._run_faulting("""
+            movi r1, 0x1001
+            ld r2, r1, 0
+            halt
+        """)
+        assert descriptor.kind is ExceptionKind.ALIGNMENT_FAULT
+        assert descriptor.address == 0x1001
+
+    def test_page_fault_in_strict_memory(self):
+        machine = build_machine(hw_threads_per_core=16, strict_memory=True)
+        edp = machine.alloc("edp0", 64)
+        machine.load_asm(0, """
+            movi r1, 0x900000
+            ld r2, r1, 0
+            halt
+        """, supervisor=True, edp=edp.base)
+        machine.boot(0)
+        machine.run(until=100_000)
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        assert descriptor.kind is ExceptionKind.PAGE_FAULT
+        assert descriptor.address == 0x900000
+
+    def test_trap_writes_syscall_descriptor(self):
+        machine, descriptor = self._run_faulting("trap 42\nhalt")
+        assert descriptor.kind is ExceptionKind.SYSCALL
+        assert descriptor.address == 42
+
+    def test_privop_from_user_mode_faults(self):
+        machine = build_machine(hw_threads_per_core=16)
+        edp = machine.alloc("edp0", 64)
+        machine.load_asm(0, "privop 7\nhalt", supervisor=False, edp=edp.base)
+        machine.boot(0)
+        machine.run(until=10_000)
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        assert descriptor.kind is ExceptionKind.PRIVILEGE_FAULT
+        assert descriptor.address == 7
+
+    def test_privop_in_supervisor_mode_continues(self):
+        machine, _ = self._machine_with_handler_area()
+        machine.load_asm(0, "privop 7\nmovi r1, 1\nhalt", supervisor=True)
+        machine.boot(0)
+        machine.run()
+        assert machine.thread(0).finished
+        assert machine.thread(0).arch.read("r1") == 1
+
+    def test_csrw_tdtr_from_user_mode_faults(self):
+        machine = build_machine(hw_threads_per_core=16)
+        edp = machine.alloc("edp0", 64)
+        machine.load_asm(0, """
+            movi r1, 0x5000
+            csrw tdtr, r1
+            halt
+        """, supervisor=False, edp=edp.base)
+        machine.boot(0)
+        machine.run(until=10_000)
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        assert descriptor.kind is ExceptionKind.PRIVILEGE_FAULT
+
+    def test_csrw_edp_from_user_mode_allowed(self):
+        machine = build_machine(hw_threads_per_core=16)
+        machine.load_asm(0, """
+            movi r1, 0x5000
+            csrw edp, r1
+            csrr r2, edp
+            halt
+        """, supervisor=False)
+        machine.boot(0)
+        machine.run()
+        assert machine.thread(0).finished
+        assert machine.thread(0).arch.read("r2") == 0x5000
+
+
+class TestHandlerChains:
+    def test_handler_thread_wakes_on_guest_fault(self):
+        """A handler ptid monitors the guest's edp line and restarts it."""
+        machine = build_machine(hw_threads_per_core=16)
+        edp = machine.alloc("guest-edp", 64)
+        # guest: divides by zero, then (after handler fixes r2) succeeds
+        machine.load_asm(0, """
+            movi r1, 10
+            div r3, r1, r2     ; r2 == 0 -> fault
+            halt
+        """, supervisor=False, edp=edp.base)
+        # handler: wait for a descriptor, patch guest r2 := 2, rewind pc
+        # to the div, restart the guest. Uses the canonical race-free
+        # protocol: arm the monitor, THEN check the present flag, THEN
+        # mwait -- a descriptor that landed before arming is not lost.
+        machine.load_asm(1, """
+            movi r1, EDP
+            monitor r1
+            ld r2, r1, 0       ; descriptor-present (seq) word
+            bne r2, r0, ready  ; already there: skip the wait
+            mwait
+        ready:
+            movi r4, 2
+            rpush 0, r2, r4    ; guest r2 <- 2
+            movi r5, 1
+            rpush 0, pc, r5    ; guest pc <- 1 (retry the div)
+            start 0
+            halt
+        """, symbols={"EDP": edp.base}, supervisor=True)
+        machine.boot(0)
+        machine.boot(1)
+        machine.run()
+        guest = machine.thread(0)
+        assert guest.finished
+        assert guest.arch.read("r3") == 5  # 10 // 2
+
+    def test_consecutive_exceptions_chain(self):
+        """B faults while handling A's fault; C handles B's. The chain
+        works as long as every handler has its own handler (Section 3.2)."""
+        machine = build_machine(hw_threads_per_core=16)
+        edp_a = machine.alloc("edp-a", 64)
+        edp_b = machine.alloc("edp-b", 64)
+        # A: div by zero
+        machine.load_asm(0, "movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt",
+                         edp=edp_a.base)
+        # B: handles A, but *itself* divides by zero mid-handler
+        machine.load_asm(1, """
+            movi r1, EDPA
+            monitor r1
+            mwait
+            movi r4, 0
+            div r5, r4, r4     ; B faults too
+            halt
+        """, symbols={"EDPA": edp_a.base}, supervisor=True, edp=edp_b.base)
+        # C: handles B by patching its registers and restarting it past
+        # the bad div (pc 6 = halt)
+        machine.load_asm(2, """
+            movi r1, EDPB
+            monitor r1
+            mwait
+            movi r4, 6
+            rpush 1, pc, r4
+            start 1
+            halt
+        """, symbols={"EDPB": edp_b.base}, supervisor=True)
+        for ptid in (0, 1, 2):
+            machine.boot(ptid)
+        machine.run()
+        machine.check()  # no triple fault
+        assert machine.thread(1).finished
+        assert machine.thread(2).finished
+        # A stays disabled: B never got to restart it, and that's fine
+        assert machine.thread(0).state is PtidState.DISABLED
+
+    def test_triple_fault_halts_core(self):
+        """A fault with edp=0 is 'akin to a triple-fault'."""
+        machine = build_machine(hw_threads_per_core=8)
+        machine.load_asm(0, "movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt",
+                         supervisor=True)  # no edp!
+        machine.boot(0)
+        machine.run(until=10_000)
+        core = machine.core(0)
+        assert core.halted
+        assert "triple fault" in core.halt_reason
+        with pytest.raises(TripleFault):
+            machine.check()
+
+    def test_core_stops_issuing_after_triple_fault(self):
+        machine = build_machine(hw_threads_per_core=8)
+        machine.load_asm(0, "movi r2, 0\ndiv r3, r2, r2\nhalt", supervisor=True)
+        machine.load_asm(1, "work 100000\nhalt", supervisor=True)
+        machine.boot(0)
+        machine.boot(1)
+        machine.run(until=50_000)
+        assert machine.core(0).halted
+        assert not machine.thread(1).finished  # work never completed

@@ -1,0 +1,167 @@
+"""Tests for the secret-key security model (Section 3.2 alternative)."""
+
+import pytest
+
+from repro.errors import PermissionFault
+from repro.hw.exceptions import ExceptionDescriptor, descriptor_present
+from repro.hw.keys import KeyRegistry
+from repro.hw.ptid import PtidState
+from repro.hw.tdt import Permission
+from repro.machine import build_machine
+
+
+class TestKeyRegistry:
+    def test_matching_key_authorizes(self):
+        keys = KeyRegistry()
+        keys.set_key(3, 0x5EC2E7)
+        keys.authorize(3, 0x5EC2E7)  # no raise
+        assert keys.checks == 1
+        assert keys.denials == 0
+
+    def test_wrong_key_denied(self):
+        keys = KeyRegistry()
+        keys.set_key(3, 111)
+        with pytest.raises(PermissionFault):
+            keys.authorize(3, 222)
+        assert keys.denials == 1
+
+    def test_no_key_fails_closed(self):
+        keys = KeyRegistry()
+        with pytest.raises(PermissionFault):
+            keys.authorize(5, 123)
+
+    def test_supervisor_bypasses(self):
+        keys = KeyRegistry()
+        keys.authorize(5, None, supervisor=True)  # no raise
+
+    def test_key_rotation(self):
+        keys = KeyRegistry()
+        keys.set_key(1, 10)
+        keys.set_key(1, 20)
+        with pytest.raises(PermissionFault):
+            keys.authorize(1, 10)
+        keys.authorize(1, 20)
+
+    def test_key_zero_clears(self):
+        keys = KeyRegistry()
+        keys.set_key(1, 10)
+        keys.set_key(1, 0)
+        assert not keys.has_key(1)
+
+
+def _key_machine():
+    """ptid 0 spins (manageable target), ptid 1 is the manager."""
+    machine = build_machine(security_model="keys")
+    machine.load_asm(0, """
+        movi r1, KEY
+        setkey r1
+    spin:
+        jmp spin
+    """, symbols={"KEY": 0xABC}, supervisor=False)
+    machine.boot(0)
+    return machine
+
+
+class TestKeyModelIsaLevel:
+    def test_right_key_stops_target(self):
+        machine = _key_machine()
+        edp = machine.alloc("edp", 64)
+        # manager presents the key in r15 (the KEY_REGISTER convention)
+        machine.load_asm(1, """
+            work 100
+            movi r15, 0xABC
+            stop 0
+            halt
+        """, supervisor=False, edp=edp.base,
+            tdtr=machine.build_tdt("t", {0: (0, Permission.NONE)}).base)
+        machine.boot(1)
+        machine.run(until=50_000)
+        machine.check()
+        assert machine.thread(0).state is PtidState.DISABLED
+        assert machine.thread(1).finished
+        assert not descriptor_present(machine.memory, edp.base)
+
+    def test_wrong_key_faults_manager(self):
+        machine = _key_machine()
+        edp = machine.alloc("edp", 64)
+        machine.load_asm(1, """
+            work 100
+            movi r15, 0xDEF
+            stop 0
+            halt
+        """, supervisor=False, edp=edp.base,
+            tdtr=machine.build_tdt("t", {0: (0, Permission.NONE)}).base)
+        machine.boot(1)
+        machine.run(until=50_000)
+        machine.check()
+        assert descriptor_present(machine.memory, edp.base)
+        descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+        assert descriptor.kind.name == "PERMISSION_FAULT"
+        # the target keeps running: the manager was contained instead
+        assert machine.thread(0).state is PtidState.RUNNABLE
+
+    def test_supervisor_ignores_keys(self):
+        machine = _key_machine()
+        machine.load_asm(1, """
+            work 100
+            stop 0
+            halt
+        """, supervisor=True)
+        machine.boot(1)
+        machine.run(until=50_000)
+        machine.check()
+        assert machine.thread(0).state is PtidState.DISABLED
+
+
+class TestModelEquivalence:
+    """DESIGN.md Section 6: for configurations expressible in both
+    models -- full authority (TDT ALL <-> holding the key) and no
+    authority (invalid entry <-> no/wrong key) -- the reachable
+    operation sets must match."""
+
+    OPERATIONS = ("start", "stop")
+
+    @staticmethod
+    def _attempt_tdt(authorized: bool, operation: str) -> bool:
+        machine = build_machine(security_model="tdt")
+        perms = Permission.ALL if authorized else Permission.NONE
+        tdt = machine.build_tdt("t", {0: (0, perms)})
+        edp = machine.alloc("edp", 64)
+        machine.load_asm(0, "spin:\n    jmp spin", supervisor=False)
+        machine.boot(0)
+        machine.load_asm(1, f"work 50\n{operation} 0\nhalt",
+                         supervisor=False, tdtr=tdt.base, edp=edp.base)
+        machine.boot(1)
+        machine.run(until=20_000)
+        machine.check()
+        return not descriptor_present(machine.memory, edp.base)
+
+    @staticmethod
+    def _attempt_keys(authorized: bool, operation: str) -> bool:
+        machine = build_machine(security_model="keys")
+        machine.load_asm(0, """
+            movi r1, 0x77
+            setkey r1
+        spin:
+            jmp spin
+        """, supervisor=False)
+        machine.boot(0)
+        tdt = machine.build_tdt("t", {0: (0, Permission.NONE)})
+        edp = machine.alloc("edp", 64)
+        presented = "0x77" if authorized else "0x11"
+        machine.load_asm(1, f"""
+            work 50
+            movi r15, {presented}
+            {operation} 0
+            halt
+        """, supervisor=False, tdtr=tdt.base, edp=edp.base)
+        machine.boot(1)
+        machine.run(until=20_000)
+        machine.check()
+        return not descriptor_present(machine.memory, edp.base)
+
+    @pytest.mark.parametrize("authorized", [True, False])
+    @pytest.mark.parametrize("operation", OPERATIONS)
+    def test_reachable_operations_match(self, authorized, operation):
+        assert (self._attempt_tdt(authorized, operation)
+                == self._attempt_keys(authorized, operation))

@@ -1,0 +1,175 @@
+"""Tests for generalized monitor/mwait semantics on the core."""
+
+from repro import build_machine
+from repro.hw import PtidState
+
+
+def test_mwait_blocks_until_store_from_another_thread():
+    machine = build_machine()
+    mailbox = machine.alloc("mailbox", 64)
+    machine.load_asm(0, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        ld r2, r1, 0
+        halt
+    """, symbols={"BOX": mailbox.base}, supervisor=True)
+    machine.load_asm(1, """
+        work 200
+        movi r1, BOX
+        movi r2, 99
+        st r1, 0, r2
+        halt
+    """, symbols={"BOX": mailbox.base}, supervisor=True)
+    machine.boot(0)
+    machine.boot(1)
+    machine.run()
+    waiter = machine.thread(0)
+    assert waiter.finished
+    assert waiter.arch.read("r2") == 99
+    assert waiter.wakeups == 1
+
+
+def test_waiting_state_visible_while_blocked():
+    machine = build_machine()
+    box = machine.alloc("box", 64)
+    machine.load_asm(0, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(0)
+    machine.run(until=1000)
+    assert machine.thread(0).state is PtidState.WAITING
+    # now write from "outside" (device-like)
+    machine.memory.store(box.base, 1, source="dma:test")
+    machine.run()
+    assert machine.thread(0).finished
+
+
+def test_no_lost_wakeup_store_between_monitor_and_mwait():
+    # thread 1 writes BEFORE thread 0 reaches mwait: mwait must fall through
+    machine = build_machine()
+    box = machine.alloc("box", 64)
+    machine.load_asm(0, """
+        movi r1, BOX
+        monitor r1
+        work 500        ; window where the write lands
+        mwait
+        movi r3, 1
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.load_asm(1, """
+        movi r1, BOX
+        movi r2, 7
+        st r1, 0, r2
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(0)
+    machine.boot(1)
+    machine.run(until=100_000)
+    thread = machine.thread(0)
+    assert thread.finished, "mwait slept through a pre-armed write (lost wakeup)"
+    assert thread.arch.read("r3") == 1
+    assert thread.monitor.total_fallthroughs == 1
+
+
+def test_monitor_multiple_locations():
+    # paper: "A hardware thread can monitor multiple memory locations"
+    machine = build_machine()
+    box_a = machine.alloc("a", 64)
+    box_b = machine.alloc("b", 64)
+    machine.load_asm(0, """
+        movi r1, A
+        movi r2, B
+        monitor r1
+        monitor r2
+        mwait
+        halt
+    """, symbols={"A": box_a.base, "B": box_b.base}, supervisor=True)
+    machine.boot(0)
+    machine.run(until=100)
+    assert machine.thread(0).state is PtidState.WAITING
+    machine.memory.store(box_b.base, 1)  # second location suffices
+    machine.run()
+    assert machine.thread(0).finished
+
+
+def test_mwait_without_monitor_does_not_block():
+    machine = build_machine()
+    machine.load_asm(0, "mwait\nmovi r1, 5\nhalt", supervisor=True)
+    machine.boot(0)
+    machine.run(until=10_000)
+    assert machine.thread(0).finished
+    assert machine.thread(0).arch.read("r1") == 5
+
+
+def test_wakeup_consumes_armed_set_rearm_needed():
+    machine = build_machine()
+    box = machine.alloc("box", 64)
+    # handler loop: re-arms each iteration, counts events in r5
+    machine.load_asm(0, """
+        movi r1, BOX
+        movi r5, 0
+    loop:
+        monitor r1
+        mwait
+        addi r5, r5, 1
+        movi r6, 3
+        bne r5, r6, loop
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(0)
+    for t in (1000, 2000, 3000):
+        machine.engine.at(t, machine.memory.store, box.base, t, "dma:test")
+    machine.run()
+    thread = machine.thread(0)
+    assert thread.finished
+    assert thread.arch.read("r5") == 3
+    assert thread.wakeups >= 1
+
+
+def test_wakeup_charges_monitor_and_start_costs():
+    machine = build_machine()
+    box = machine.alloc("box", 64)
+    machine.load_asm(0, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(0)
+    machine.run(until=100)
+    store_time = 5000
+    machine.engine.at(store_time, machine.memory.store, box.base, 1, "dma:test")
+    machine.run()
+    thread = machine.thread(0)
+    assert thread.finished
+    costs = machine.costs
+    wakeup_latency = machine.engine.now - store_time
+    # dispatched within the hw wakeup budget (monitor + RF start), plus
+    # a couple of issue-round cycles
+    assert wakeup_latency <= costs.hw_wakeup_cycles("rf") + 5
+    assert wakeup_latency >= costs.monitor_wakeup_cycles
+
+
+def test_stop_while_waiting_cancels_monitor():
+    machine = build_machine()
+    box = machine.alloc("box", 64)
+    machine.load_asm(0, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        movi r3, 1
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(0)
+    machine.run(until=100)
+    machine.core(0).api_stop(0)
+    machine.memory.store(box.base, 1)
+    machine.run(until=10_000)
+    thread = machine.thread(0)
+    assert thread.state is PtidState.DISABLED
+    assert thread.arch.read("r3") == 0  # never woke
+    assert machine.memory.watch_bus.watchers_on(box.base) == 0

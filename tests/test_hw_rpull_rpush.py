@@ -1,0 +1,145 @@
+"""Tests for remote register access (rpull/rpush) and its permissions."""
+
+from repro import build_machine
+from repro.hw import ExceptionDescriptor, ExceptionKind, Permission, PtidState
+
+
+def test_rpull_reads_disabled_threads_registers():
+    machine = build_machine(hw_threads_per_core=8)
+    machine.load_asm(1, "movi r7, 777\nhalt")
+    victim = machine.thread(1)
+    victim.arch.write("r7", 777)  # context parked with a value
+    machine.load_asm(0, "rpull 1, r2, r7\nhalt", supervisor=True)
+    machine.boot(0)
+    machine.run()
+    assert machine.thread(0).arch.read("r2") == 777
+
+
+def test_rpush_swaps_software_thread_into_hardware_thread():
+    """The paper's stated purpose: 'swap software threads in and out of
+    hardware threads'. A supervisor writes a fresh context (pc + regs)
+    into a parked ptid and starts it."""
+    machine = build_machine(hw_threads_per_core=8)
+    machine.load_asm(1, """
+        halt            ; pc 0: original entry, never used
+        addi r2, r1, 5  ; pc 1: injected entry point
+        halt
+    """)
+    machine.load_asm(0, """
+        movi r4, 37
+        rpush 1, r1, r4   ; new thread's r1
+        movi r4, 1
+        rpush 1, pc, r4   ; entry point
+        start 1
+        halt
+    """, supervisor=True)
+    machine.boot(0)
+    machine.run()
+    injected = machine.thread(1)
+    assert injected.finished
+    assert injected.arch.read("r2") == 42
+
+
+def test_rpull_on_runnable_target_is_thread_state_fault():
+    machine = build_machine(hw_threads_per_core=8)
+    edp = machine.alloc("edp", 64)
+    machine.load_asm(1, "work 100000\nhalt")
+    machine.load_asm(0, "rpull 1, r2, r1\nhalt", supervisor=True, edp=edp.base)
+    machine.boot(1)
+    machine.boot(0)
+    machine.run(until=1000)
+    descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+    assert descriptor.kind is ExceptionKind.THREAD_STATE_FAULT
+
+
+def test_modify_some_allows_gprs_but_not_pc():
+    machine = build_machine(hw_threads_per_core=8)
+    tdt = machine.build_tdt("tdt", {
+        1: (1, Permission.MODIFY_SOME),
+    })
+    edp = machine.alloc("edp", 64)
+    machine.load_asm(1, "halt")
+    machine.load_asm(0, """
+        movi r4, 9
+        rpush 1, r1, r4    ; GPR: allowed
+        rpush 1, pc, r4    ; pc: DENIED -> permission fault
+        halt
+    """, supervisor=False, tdtr=tdt.base, edp=edp.base)
+    machine.boot(0)
+    machine.run()
+    target = machine.thread(1)
+    assert target.arch.read("r1") == 9        # first rpush landed
+    assert target.arch.read("pc") == 0        # second did not
+    descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+    assert descriptor.kind is ExceptionKind.PERMISSION_FAULT
+    assert machine.thread(0).state is PtidState.DISABLED
+
+
+def test_modify_most_allows_pc_and_edp_but_not_tdtr():
+    machine = build_machine(hw_threads_per_core=8)
+    tdt = machine.build_tdt("tdt", {
+        1: (1, Permission.MODIFY_SOME | Permission.MODIFY_MOST),
+    })
+    edp = machine.alloc("edp", 64)
+    machine.load_asm(1, "halt")
+    machine.load_asm(0, """
+        movi r4, 3
+        rpush 1, pc, r4     ; allowed with MODIFY_MOST
+        movi r5, 0x7000
+        rpush 1, edp, r5    ; allowed (control reg)
+        rpush 1, tdtr, r5   ; privileged: always denied via TDT
+        halt
+    """, supervisor=False, tdtr=tdt.base, edp=edp.base)
+    machine.boot(0)
+    machine.run()
+    target = machine.thread(1)
+    assert target.arch.read("pc") == 3
+    assert target.arch.read("edp") == 0x7000
+    assert target.arch.read("tdtr") == 0
+    descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+    assert descriptor.kind is ExceptionKind.PERMISSION_FAULT
+
+
+def test_rpull_permission_follows_same_bits():
+    machine = build_machine(hw_threads_per_core=8)
+    tdt = machine.build_tdt("tdt", {
+        1: (1, Permission.START),  # no modify bits at all
+    })
+    edp = machine.alloc("edp", 64)
+    machine.load_asm(1, "halt")
+    machine.load_asm(0, "rpull 1, r2, r1\nhalt",
+                     supervisor=False, tdtr=tdt.base, edp=edp.base)
+    machine.boot(0)
+    machine.run()
+    descriptor = ExceptionDescriptor.read(machine.memory, edp.base)
+    assert descriptor.kind is ExceptionKind.PERMISSION_FAULT
+
+
+def test_vtid_operand_can_come_from_register():
+    machine = build_machine(hw_threads_per_core=8)
+    machine.load_asm(1, "halt")
+    machine.thread(1).arch.write("r9", 55)
+    machine.load_asm(0, """
+        movi r3, 1        ; vtid in a register
+        rpull r3, r2, r9
+        halt
+    """, supervisor=True)
+    machine.boot(0)
+    machine.run()
+    assert machine.thread(0).arch.read("r2") == 55
+
+
+def test_rpush_to_vector_register_dirties_fp_state():
+    machine = build_machine(hw_threads_per_core=8)
+    machine.load_asm(1, "halt")
+    machine.load_asm(0, """
+        movi r4, 11
+        rpush 1, v2, r4
+        halt
+    """, supervisor=True)
+    machine.boot(0)
+    machine.run()
+    target = machine.thread(1)
+    assert target.arch.read("v2") == 11
+    assert target.arch.vector_dirty
+    assert target.arch.footprint_bytes() == 784

@@ -1,0 +1,70 @@
+"""Tests for the ISA-level untrusted hypervisor demo."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.ptid import PtidState
+from repro.hypervisor import UntrustedHypervisorDemo
+from repro.hypervisor.untrusted import GUEST_PTID, HV_PTID, run_permission_matrix
+
+
+class TestUntrustedHypervisorDemo:
+    def test_all_exits_handled(self):
+        demo = UntrustedHypervisorDemo(iterations=8)
+        outcome = demo.run()
+        assert outcome.exits_handled == 8
+        assert outcome.guest_iterations == 8
+
+    def test_hypervisor_is_unprivileged(self):
+        demo = UntrustedHypervisorDemo(iterations=3)
+        outcome = demo.run()
+        assert outcome.hv_ran_privileged is False
+        assert demo.machine.thread(HV_PTID).supervisor is False
+
+    def test_guest_finishes_disabled(self):
+        demo = UntrustedHypervisorDemo(iterations=3)
+        demo.run()
+        guest = demo.machine.thread(GUEST_PTID)
+        assert guest.finished
+        assert guest.state is PtidState.DISABLED
+
+    def test_slowdown_is_modest(self):
+        demo = UntrustedHypervisorDemo(iterations=10,
+                                       guest_work_cycles=5_000,
+                                       handler_work_cycles=400)
+        outcome = demo.run()
+        # exits cost handler work + wakeup machinery, well under 2x
+        assert 1.0 < outcome.slowdown < 1.5
+
+    def test_deterministic(self):
+        walls = [UntrustedHypervisorDemo(iterations=5).run().wall_cycles
+                 for _ in range(2)]
+        assert walls[0] == walls[1]
+
+    def test_exception_count_matches_exits(self):
+        demo = UntrustedHypervisorDemo(iterations=6)
+        demo.run()
+        assert demo.machine.thread(GUEST_PTID).exceptions_raised == 6
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigError):
+            UntrustedHypervisorDemo(iterations=0)
+
+    def test_timeout_reported(self):
+        demo = UntrustedHypervisorDemo(iterations=50,
+                                       guest_work_cycles=10_000)
+        with pytest.raises(ConfigError):
+            demo.run(until=1_000)
+
+
+class TestPermissionMatrix:
+    def test_non_hierarchical_privilege(self):
+        matrix = run_permission_matrix()
+        assert matrix["b_stopped_a"] is True
+        assert matrix["c_stopped_b"] is True
+        assert matrix["c_stopped_a"] is False
+
+    def test_c_faults_with_permission_fault(self):
+        matrix = run_permission_matrix()
+        assert matrix["c_faulted"] is True
+        assert matrix["c_fault_kind"] == "PERMISSION_FAULT"

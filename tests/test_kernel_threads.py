@@ -1,0 +1,85 @@
+"""Tests for software threads and context-switch accounting."""
+
+import pytest
+
+from repro.arch.costs import CostModel
+from repro.errors import SimulationError
+from repro.kernel import ContextSwitchAccounting, SoftwareThread
+from repro.kernel.threads import SwThreadState
+
+
+class TestSoftwareThread:
+    def test_lifecycle(self):
+        t = SoftwareThread("t")
+        assert t.state is SwThreadState.READY
+        t.run()
+        t.block()
+        t.wake()
+        t.run()
+        t.preempt()
+        t.run()
+        t.finish()
+        assert t.state is SwThreadState.DONE
+        assert t.blocks == 1
+        assert t.wakeups == 1
+
+    def test_cannot_block_when_ready(self):
+        with pytest.raises(SimulationError):
+            SoftwareThread().block()
+
+    def test_cannot_wake_running(self):
+        t = SoftwareThread()
+        t.run()
+        with pytest.raises(SimulationError):
+            t.wake()
+
+    def test_cannot_run_twice(self):
+        t = SoftwareThread()
+        t.run()
+        with pytest.raises(SimulationError):
+            t.run()
+
+    def test_unique_tids(self):
+        assert SoftwareThread().tid != SoftwareThread().tid
+
+
+class TestContextSwitchAccounting:
+    def test_switch_charge(self):
+        acct = ContextSwitchAccounting(CostModel())
+        cycles = acct.charge_switch()
+        assert cycles == 500 + 1000  # switch + pollution
+        assert acct.switches == 1
+
+    def test_switch_without_pollution(self):
+        acct = ContextSwitchAccounting(CostModel())
+        assert acct.charge_switch(include_pollution=False) == 500
+        assert acct.pollution_cycles == 0
+
+    def test_fp_switch_extra(self):
+        acct = ContextSwitchAccounting(CostModel())
+        plain = acct.charge_switch(include_pollution=False)
+        with_fp = acct.charge_switch(fp_state=True, include_pollution=False)
+        assert with_fp - plain == CostModel().sw_switch_fp_extra_cycles
+
+    def test_mode_switch_charge(self):
+        acct = ContextSwitchAccounting(CostModel())
+        assert acct.charge_mode_switch() == 300
+        assert acct.charge_mode_switch(fp_save=True) == 500
+        assert acct.mode_switches == 2
+
+    def test_irq_scheduler_ipi(self):
+        costs = CostModel()
+        acct = ContextSwitchAccounting(costs)
+        assert acct.charge_irq() == costs.irq_entry_cycles + costs.irq_exit_cycles
+        assert acct.charge_scheduler() == costs.scheduler_cycles
+        assert acct.charge_ipi() == costs.ipi_cycles
+
+    def test_total_and_breakdown_consistent(self):
+        acct = ContextSwitchAccounting(CostModel())
+        acct.charge_switch()
+        acct.charge_mode_switch()
+        acct.charge_irq()
+        acct.charge_scheduler()
+        acct.charge_ipi()
+        assert acct.total_overhead_cycles == sum(acct.breakdown().values())
+        assert all(v >= 0 for v in acct.breakdown().values())

@@ -1,0 +1,61 @@
+"""Tests for machine-level statistics reporting."""
+
+from repro.machine import build_machine
+
+
+def run_small_machine(cores=1):
+    machine = build_machine(cores=cores)
+    flag = machine.alloc("flag", 64)
+    machine.load_asm(0, """
+        movi r1, FLAG
+        monitor r1
+        mwait
+        halt
+    """, symbols={"FLAG": flag.base}, supervisor=True)
+    machine.boot(0)
+    machine.engine.at(500, machine.memory.store, flag.base, 1, "dev")
+    machine.run(until=10_000)
+    return machine
+
+
+class TestStats:
+    def test_structure(self):
+        machine = run_small_machine()
+        stats = machine.stats()
+        assert set(stats) == {"time", "events", "cores", "memory",
+                              "watch_bus", "migrations"}
+        assert len(stats["cores"]) == 1
+
+    def test_counts_reflect_activity(self):
+        machine = run_small_machine()
+        core = machine.stats()["cores"][0]
+        assert core["instructions"] >= 4
+        assert core["wakeups"] == 1
+        assert core["exceptions"] == 0
+        assert not core["halted"]
+
+    def test_idle_cycles_accumulate_while_waiting(self):
+        machine = run_small_machine()
+        core = machine.stats()["cores"][0]
+        assert core["idle_cycles"] > 0  # the mwait window
+
+    def test_memory_and_watch_counters(self):
+        machine = run_small_machine()
+        stats = machine.stats()
+        assert stats["memory"]["stores"] >= 1
+        assert stats["watch_bus"]["triggers"] >= 1
+
+    def test_multi_core_one_entry_each(self):
+        machine = build_machine(cores=3)
+        assert len(machine.stats()["cores"]) == 3
+
+    def test_storage_occupancy_included(self):
+        machine = run_small_machine()
+        storage = machine.stats()["cores"][0]["storage"]
+        assert set(storage) == {"rf", "l2", "l3"}
+
+    def test_report_renders(self):
+        machine = run_small_machine()
+        text = machine.report()
+        assert "instructions" in text
+        assert "machine @" in text

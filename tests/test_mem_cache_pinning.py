@@ -1,0 +1,94 @@
+"""Tests for cache-line pinning (Section 4 fine-grain partitioning)."""
+
+from repro.mem.cache import Cache, CacheHierarchy
+
+
+def small_cache(**kwargs):
+    defaults = dict(name="t", size_bytes=4096, ways=4, line_bytes=64,
+                    hit_cycles=4, miss_cycles=100)
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+class TestPinning:
+    def test_pin_makes_range_resident(self):
+        cache = small_cache()
+        cache.pin(0, 256)
+        for addr in range(0, 256, 64):
+            assert cache.contains(addr)
+
+    def test_pinned_lines_survive_interference(self):
+        cache = small_cache()
+        cache.pin(0, 64)
+        # stream 64 KiB through a 4 KiB cache
+        for addr in range(0x10000, 0x20000, 64):
+            cache.access(addr)
+        assert cache.contains(0)
+
+    def test_unpinned_lines_evicted_by_interference(self):
+        cache = small_cache()
+        cache.warm(0, 64)
+        for addr in range(0x10000, 0x20000, 64):
+            cache.access(addr)
+        assert not cache.contains(0)
+
+    def test_unpin_restores_evictability(self):
+        cache = small_cache()
+        cache.pin(0, 64)
+        cache.unpin(0, 64)
+        for addr in range(0x10000, 0x20000, 64):
+            cache.access(addr)
+        assert not cache.contains(0)
+
+    def test_fully_pinned_set_bypasses_new_fills(self):
+        # ways=4, sets = 4096/64/4 = 16; pin 4 lines mapping to set 0:
+        # lines 0, 16, 32, 48 (line % 16 == 0)
+        cache = small_cache()
+        for line_index in (0, 16, 32, 48):
+            cache.pin(line_index * 64, 64)
+        before = cache.bypasses
+        cache.access(64 * 64)  # line 64 also maps to set 0
+        assert cache.bypasses == before + 1
+        # the pinned lines are all still resident
+        for line_index in (0, 16, 32, 48):
+            assert cache.contains(line_index * 64)
+
+    def test_flush_spares_pinned_lines(self):
+        cache = small_cache()
+        cache.pin(0, 64)
+        cache.warm(128, 64)
+        cache.flush()
+        assert cache.contains(0)
+        assert not cache.contains(128)
+
+
+class TestHierarchyPinning:
+    def test_pin_applies_to_every_level(self):
+        caches = CacheHierarchy()
+        caches.pin(0x2000, 128)
+        assert caches.l1.contains(0x2000)
+        assert caches.l2.contains(0x2000)
+        assert caches.l3.contains(0x2000)
+
+    def test_pinned_walk_stays_l1_fast_after_streaming(self):
+        caches = CacheHierarchy()
+        caches.pin(0x1000, 4096)
+        caches.walk_working_set(0x4000000, 16 * 1024 * 1024)
+        cycles = caches.walk_working_set(0x1000, 4096)
+        assert cycles == (4096 // 64) * caches.l1.hit_cycles
+
+    def test_unpinned_walk_pays_dram_after_streaming(self):
+        caches = CacheHierarchy()
+        caches.walk_working_set(0x1000, 4096)
+        caches.walk_working_set(0x4000000, 64 * 1024 * 1024)
+        cycles = caches.walk_working_set(0x1000, 4096)
+        per_line_cold = (caches.l1.hit_cycles + caches.l2.hit_cycles
+                         + caches.l3.hit_cycles + caches.l3.miss_cycles)
+        assert cycles == (4096 // 64) * per_line_cold
+
+    def test_unpin_hierarchy(self):
+        caches = CacheHierarchy()
+        caches.pin(0x1000, 64)
+        caches.unpin(0x1000, 64)
+        caches.flush()
+        assert not caches.l1.contains(0x1000)

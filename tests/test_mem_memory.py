@@ -1,0 +1,146 @@
+"""Tests for flat memory, regions, and MMIO routing."""
+
+import pytest
+
+from repro.errors import GuestFault, MemoryError_
+from repro.mem import Memory, MmioRegion
+
+
+def test_load_of_untouched_memory_is_zero():
+    assert Memory().load(0x1000) == 0
+
+
+def test_store_load_roundtrip():
+    mem = Memory()
+    mem.store(0x2000, 12345)
+    assert mem.load(0x2000) == 12345
+
+
+def test_values_truncate_to_64_bits():
+    mem = Memory()
+    mem.store(0x2000, 1 << 70)
+    assert mem.load(0x2000) == 0
+
+
+def test_misaligned_access_faults():
+    mem = Memory()
+    with pytest.raises(GuestFault) as err:
+        mem.load(0x1001)
+    assert err.value.kind == "alignment-fault"
+    with pytest.raises(GuestFault):
+        mem.store(0x1004, 1)
+
+
+def test_out_of_range_faults():
+    mem = Memory(size_bytes=0x10000)
+    with pytest.raises(GuestFault) as err:
+        mem.load(0x20000)
+    assert err.value.kind == "page-fault"
+    with pytest.raises(GuestFault):
+        mem.load(-8)
+
+
+def test_strict_mode_requires_regions():
+    mem = Memory(strict=True)
+    region = mem.alloc("heap", 4096)
+    mem.store(region.base, 1)  # inside a region: ok
+    with pytest.raises(GuestFault) as err:
+        mem.store(region.end + 0x10000, 1)
+    assert err.value.kind == "page-fault"
+    assert err.value.faulting_address == region.end + 0x10000
+
+
+def test_alloc_returns_aligned_disjoint_regions():
+    mem = Memory()
+    a = mem.alloc("a", 100)
+    b = mem.alloc("b", 100)
+    assert a.base % 64 == 0
+    assert b.base % 64 == 0
+    assert a.end <= b.base
+    assert a.base >= 0x1000  # page 0 kept unmapped
+
+
+def test_alloc_rejects_bad_size_and_exhaustion():
+    mem = Memory(size_bytes=0x4000)
+    with pytest.raises(MemoryError_):
+        mem.alloc("bad", 0)
+    with pytest.raises(MemoryError_):
+        mem.alloc("huge", 0x10000)
+
+
+def test_region_lookup_and_word_addressing():
+    mem = Memory()
+    region = mem.alloc("ring", 256)
+    assert mem.region("ring") is region
+    assert region.word(0) == region.base
+    assert region.word(3) == region.base + 24
+    with pytest.raises(MemoryError_):
+        region.word(32)  # past the end
+    with pytest.raises(MemoryError_):
+        mem.region("nope")
+
+
+def test_fetch_add_is_read_modify_write():
+    mem = Memory()
+    assert mem.fetch_add(0x3000, 5) == 5
+    assert mem.fetch_add(0x3000, 2) == 7
+    assert mem.load(0x3000) == 7
+
+
+def test_bulk_words():
+    mem = Memory()
+    mem.store_words(0x4000, [1, 2, 3])
+    assert mem.load_words(0x4000, 3) == [1, 2, 3]
+
+
+def test_access_counters():
+    mem = Memory()
+    mem.store(0x1000, 1)
+    mem.load(0x1000)
+    mem.load(0x1000)
+    assert mem.store_count == 1
+    assert mem.load_count == 2
+
+
+class TestMmio:
+    def test_store_in_window_invokes_doorbell(self):
+        mem = Memory()
+        region = mem.alloc("nic-regs", 128)
+        rings = []
+        mmio = MmioRegion(region, on_store=lambda off, val, src: rings.append((off, val, src)))
+        mem.attach_mmio(mmio)
+        mem.store(region.word(2), 99)
+        assert rings == [(2, 99, "cpu")]
+
+    def test_load_reads_device_register(self):
+        mem = Memory()
+        region = mem.alloc("regs", 64)
+        mmio = MmioRegion(region)
+        mem.attach_mmio(mmio)
+        mmio.set_reg(1, 0xBEEF)
+        assert mem.load(region.word(1)) == 0xBEEF
+
+    def test_mmio_store_still_notifies_watchers(self):
+        # paper: monitors work on "memory-mapped I/O registers"
+        mem = Memory()
+        region = mem.alloc("regs", 64)
+        mem.attach_mmio(MmioRegion(region))
+        watch = mem.watch_bus.watch(region.word(0))
+        mem.store(region.word(0), 1)
+        assert watch.trigger_count == 1
+
+    def test_stores_outside_window_unaffected(self):
+        mem = Memory()
+        region = mem.alloc("regs", 64)
+        mmio = MmioRegion(region)
+        mem.attach_mmio(mmio)
+        plain = mem.alloc("plain", 64)
+        mem.store(plain.word(0), 5)
+        assert mem.load(plain.word(0)) == 5
+        assert mmio.store_count == 0
+
+    def test_reg_addr_helper(self):
+        mem = Memory()
+        region = mem.alloc("regs", 64)
+        mmio = MmioRegion(region)
+        assert mmio.reg_addr(3) == region.base + 24

@@ -1,0 +1,100 @@
+"""Tests for the generalized write-watch bus (monitor/mwait substrate)."""
+
+from repro.mem import Memory, WatchBus
+from repro.sim import Engine
+
+
+def test_watch_fires_on_store():
+    mem = Memory()
+    watch = mem.watch_bus.watch(0x1000)
+    mem.store(0x1000, 7)
+    assert watch.trigger_count == 1
+    assert watch.last_trigger["value"] == 7
+    assert watch.last_trigger["source"] == "cpu"
+
+
+def test_watch_is_line_granular():
+    # like real MONITOR: a write anywhere in the 64B line triggers
+    mem = Memory()
+    watch = mem.watch_bus.watch(0x1000)
+    mem.store(0x1038, 1)  # same line (0x1000..0x103f)
+    assert watch.trigger_count == 1
+    mem.store(0x1040, 1)  # next line
+    assert watch.trigger_count == 1
+
+
+def test_watch_multiple_addresses():
+    # paper: "A hardware thread can monitor multiple memory locations"
+    mem = Memory()
+    watch = mem.watch_bus.watch([0x1000, 0x9000])
+    mem.store(0x9000, 1)
+    assert watch.trigger_count == 1
+    mem.store(0x1000, 1)
+    assert watch.trigger_count == 2
+
+
+def test_multiple_watches_one_line_all_fire():
+    mem = Memory()
+    w1 = mem.watch_bus.watch(0x1000, owner="a")
+    w2 = mem.watch_bus.watch(0x1008, owner="b")  # same line
+    fired = mem.watch_bus.notify(0x1000, 5)
+    assert fired == 2
+    assert w1.trigger_count == w2.trigger_count == 1
+
+
+def test_cancel_disarms():
+    mem = Memory()
+    watch = mem.watch_bus.watch(0x1000)
+    watch.cancel()
+    mem.store(0x1000, 1)
+    assert watch.trigger_count == 0
+    watch.cancel()  # idempotent
+
+
+def test_dma_source_label_preserved():
+    # the whole point: DMA writes wake waiters exactly like CPU stores
+    mem = Memory()
+    watch = mem.watch_bus.watch(0x2000)
+    mem.store(0x2000, 42, source="dma:nic0")
+    assert watch.last_trigger["source"] == "dma:nic0"
+
+
+def test_watch_signal_wakes_process():
+    engine = Engine()
+    mem = Memory()
+    watch = mem.watch_bus.watch(0x1000)
+    got = []
+
+    def waiter():
+        info = yield watch.signal
+        got.append((engine.now, info["value"]))
+
+    engine.spawn(waiter())
+    engine.after(30, mem.store, 0x1000, 99)
+    engine.run()
+    assert got == [(30, 99)]
+
+
+def test_covers():
+    bus = WatchBus()
+    watch = bus.watch(0x1000)
+    assert watch.covers(0x103F)
+    assert not watch.covers(0x1040)
+
+
+def test_watchers_on_counts_armed_only():
+    bus = WatchBus()
+    w1 = bus.watch(0x1000)
+    bus.watch(0x1000)
+    assert bus.watchers_on(0x1000) == 2
+    w1.cancel()
+    assert bus.watchers_on(0x1000) == 1
+
+
+def test_bus_statistics():
+    mem = Memory()
+    mem.watch_bus.watch(0x1000)
+    mem.store(0x1000, 1)
+    mem.store(0x5000, 1)  # unwatched
+    assert mem.watch_bus.total_notifications == 2
+    assert mem.watch_bus.total_triggers == 1

@@ -1,0 +1,191 @@
+"""Tests for microkernel IPC and services."""
+
+import pytest
+
+from repro.arch.costs import CostModel
+from repro.errors import ConfigError
+from repro.microkernel import DirectStartIpc, SchedulerIpc, ServiceClient
+from repro.microkernel.services import (
+    MicrokernelService,
+    container_proxy_service,
+    filesystem_service,
+    netstack_service,
+)
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads import Constant, DeterministicArrivals
+
+
+def single_call(ipc, work=1_000):
+    engine = ipc.engine
+    finished = []
+
+    def caller():
+        started = engine.now
+        yield from ipc.call(work)
+        finished.append(engine.now - started)
+
+    engine.spawn(caller())
+    engine.run()
+    return finished[0]
+
+
+class TestSchedulerIpc:
+    def test_rtt_closed_form(self):
+        costs = CostModel()
+        ipc = SchedulerIpc(Engine(), costs)
+        one_way = (costs.mode_switch_cycles + costs.scheduler_cycles
+                   + costs.sw_switch_cycles + costs.cache_pollution_cycles)
+        assert ipc.one_way_cycles() == one_way
+        assert ipc.rtt_cycles(500) == 2 * one_way + 500
+
+    def test_measured_call_at_least_rtt(self):
+        ipc = SchedulerIpc(Engine(), CostModel())
+        latency = single_call(ipc, work=1_000)
+        assert latency >= ipc.rtt_cycles(1_000)
+
+    def test_accounting_charged(self):
+        ipc = SchedulerIpc(Engine(), CostModel())
+        single_call(ipc)
+        assert ipc.accounting.mode_switches == 2
+        assert ipc.accounting.scheduler_invocations == 2
+        assert ipc.accounting.switches == 2
+
+
+class TestDirectStartIpc:
+    def test_rtt_tens_of_cycles(self):
+        ipc = DirectStartIpc(Engine(), CostModel())
+        assert ipc.rtt_cycles(0) < 100
+
+    def test_measured_call_close_to_rtt(self):
+        ipc = DirectStartIpc(Engine(), CostModel())
+        latency = single_call(ipc, work=1_000)
+        assert latency == pytest.approx(ipc.rtt_cycles(1_000), abs=5)
+
+    def test_tier_affects_cost(self):
+        rf = DirectStartIpc(Engine(), CostModel(), tier="rf")
+        l3 = DirectStartIpc(Engine(), CostModel(), tier="l3")
+        assert l3.rtt_cycles(0) > rf.rtt_cycles(0)
+
+    def test_faster_than_scheduler_ipc(self):
+        # null call: pure mechanism cost, no service work to hide it
+        sched = single_call(SchedulerIpc(Engine(), CostModel()), work=1)
+        direct = single_call(DirectStartIpc(Engine(), CostModel()), work=1)
+        assert direct * 10 < sched
+
+    def test_rejects_bad_tier(self):
+        with pytest.raises(ConfigError):
+            DirectStartIpc(Engine(), tier="floppy")
+
+
+class TestServiceQueueing:
+    def test_concurrent_calls_serialize_at_service(self):
+        # two simultaneous 1000-cycle calls: second finishes ~1000 later
+        engine = Engine()
+        ipc = DirectStartIpc(engine, CostModel())
+        finish = []
+
+        def caller():
+            yield from ipc.call(1_000)
+            finish.append(engine.now)
+
+        engine.spawn(caller())
+        engine.spawn(caller())
+        engine.run()
+        assert finish[1] - finish[0] >= 900
+
+
+class TestServices:
+    def test_named_operations(self):
+        fs = filesystem_service()
+        assert fs.operation("read").mean() > 0
+        assert fs.operation("write").mean() > fs.operation("read").mean()
+        net = netstack_service()
+        assert set(net.operations) == {"rx", "tx"}
+        proxy = container_proxy_service()
+        assert set(proxy.operations) == {"filter", "route"}
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigError) as err:
+            filesystem_service().operation("fsync")
+        assert "read" in str(err.value)
+
+    def test_client_records_all_calls(self):
+        engine = Engine()
+        ipc = DirectStartIpc(engine, CostModel())
+        service = MicrokernelService("t", {"op": Constant(500)})
+        client = ServiceClient(engine, ipc, service, "op",
+                               DeterministicArrivals(5_000),
+                               RngStreams(3).stream("c"), max_calls=10)
+        engine.run()
+        assert client.completed == 10
+        assert client.finished_at is not None
+        assert client.throughput_per_kcycle() > 0
+
+    def test_client_latency_matches_rtt_at_low_load(self):
+        engine = Engine()
+        ipc = DirectStartIpc(engine, CostModel())
+        service = MicrokernelService("t", {"op": Constant(500)})
+        client = ServiceClient(engine, ipc, service, "op",
+                               DeterministicArrivals(50_000),
+                               RngStreams(3).stream("c"), max_calls=5)
+        engine.run()
+        assert client.recorder.pct(50) == pytest.approx(
+            ipc.rtt_cycles(500), abs=5)
+
+    def test_client_rejects_zero_calls(self):
+        engine = Engine()
+        with pytest.raises(ConfigError):
+            ServiceClient(engine, DirectStartIpc(engine),
+                          filesystem_service(), "read",
+                          DeterministicArrivals(100),
+                          RngStreams(1).stream("x"), max_calls=0)
+
+    def test_closed_loop_population_completes(self):
+        from repro.microkernel import ClosedLoopClients
+        engine = Engine()
+        ipc = DirectStartIpc(engine, CostModel())
+        service = MicrokernelService("t", {"op": Constant(500)})
+        population = ClosedLoopClients(
+            engine, ipc, service, "op", clients=4, think_cycles=2_000,
+            rng=RngStreams(5).stream("cl"), calls_per_client=10)
+        engine.run()
+        assert population.completed == 40
+        assert population.finished_at is not None
+        assert population.throughput_per_kcycle() > 0
+
+    def test_closed_loop_self_regulates(self):
+        # closed loop never diverges: slower IPC -> lower throughput,
+        # but every call still completes
+        from repro.microkernel import ClosedLoopClients
+        throughputs = {}
+        for name, ipc_cls in (("direct", DirectStartIpc),
+                              ("sched", SchedulerIpc)):
+            engine = Engine()
+            population = ClosedLoopClients(
+                engine, ipc_cls(engine, CostModel()),
+                MicrokernelService("t", {"op": Constant(800)}), "op",
+                clients=8, think_cycles=1_000,
+                rng=RngStreams(6).stream(name), calls_per_client=15)
+            engine.run()
+            assert population.completed == 120
+            throughputs[name] = population.throughput_per_kcycle()
+        assert throughputs["direct"] > throughputs["sched"]
+
+    def test_closed_loop_validates(self):
+        from repro.microkernel import ClosedLoopClients
+        engine = Engine()
+        with pytest.raises(ConfigError):
+            ClosedLoopClients(engine, DirectStartIpc(engine),
+                              filesystem_service(), "read", clients=0,
+                              think_cycles=1, rng=RngStreams(1).stream("x"),
+                              calls_per_client=1)
+
+    def test_throughput_requires_finish(self):
+        engine = Engine()
+        client = ServiceClient(engine, DirectStartIpc(engine),
+                               filesystem_service(), "read",
+                               DeterministicArrivals(100),
+                               RngStreams(1).stream("x"), max_calls=5)
+        with pytest.raises(ConfigError):
+            client.throughput_per_kcycle()

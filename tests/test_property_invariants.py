@@ -1,0 +1,161 @@
+"""Property-based tests of core invariants under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.storage import ThreadStateStore
+from repro.machine import build_machine
+from repro.mem.memory import Memory
+
+
+class TestNoLostWakeups:
+    """Paper semantics: a write between monitor and mwait must not be
+    lost -- mwait falls through. Randomize the write's timing against
+    the waiter's progress and require the waiter to always finish."""
+
+    @given(write_delay=st.integers(min_value=0, max_value=400),
+           pre_work=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_waiter_always_completes(self, write_delay, pre_work):
+        # the canonical idiom: arm, CHECK, then mwait -- covers both a
+        # write before arming (check catches it) and a write between
+        # check and mwait (the pending flag makes mwait fall through)
+        machine = build_machine()
+        flag = machine.alloc("flag", 64)
+        machine.load_asm(0, """
+            work PRE
+            movi r1, FLAG
+            monitor r1
+            ld r2, r1, 0
+            bne r2, r0, done
+            mwait
+            ld r2, r1, 0
+        done:
+            halt
+        """, symbols={"FLAG": flag.base, "PRE": pre_work},
+            supervisor=True)
+        machine.boot(0)
+        machine.engine.at(write_delay, machine.memory.store,
+                          flag.base, 7, "dev")
+        machine.run(until=write_delay + pre_work + 10_000)
+        machine.check()
+        thread = machine.thread(0)
+        assert thread.finished
+        assert thread.arch.read("r2") == 7
+
+    @given(delays=st.lists(st.integers(min_value=0, max_value=1000),
+                           min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_counting_handler_sees_final_count(self, delays):
+        """Coalescing is allowed (multiple writes, one wakeup) but the
+        final counter value must always be observed."""
+        machine = build_machine()
+        counter = machine.alloc("ctr", 64)
+        seen = machine.alloc("seen", 64)
+        machine.load_asm(0, """
+        loop:
+            movi r1, CTR
+            monitor r1
+            ld r2, r1, 0
+            bne r2, r5, progress
+            mwait
+            ld r2, r1, 0
+        progress:
+            mov r5, r2
+            movi r3, SEEN
+            st r3, 0, r2
+            movi r4, TARGET
+            blt r2, r4, loop
+            halt
+        """, symbols={"CTR": counter.base, "SEEN": seen.base,
+                      "TARGET": len(delays)}, supervisor=True)
+        machine.boot(0)
+        for delay in sorted(delays):
+            machine.engine.at(delay, machine.memory.fetch_add,
+                              counter.base, 1, "dev")
+        machine.run(until=max(delays) + 20_000)
+        machine.check()
+        assert machine.memory.load(seen.base) == len(delays)
+
+
+class TestEngineDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_runs_identical_traces(self, seed):
+        def run_once():
+            machine = build_machine(seed=seed)
+            word = machine.alloc("w", 64)
+            machine.load_asm(0, """
+            loop:
+                faa r1, r2, 1
+                addi r3, r3, 1
+                movi r4, 20
+                blt r3, r4, loop
+                halt
+            """, supervisor=True)
+            machine.thread(0).arch.write("r2", word.base)
+            machine.boot(0)
+            machine.run()
+            return (machine.engine.now,
+                    machine.engine.events_processed,
+                    machine.memory.load(word.base))
+
+        assert run_once() == run_once()
+
+
+class TestStorageConservation:
+    @given(contexts=st.integers(min_value=1, max_value=300),
+           starts=st.lists(st.integers(min_value=0, max_value=299),
+                           max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_every_context_lives_in_exactly_one_tier(self, contexts, starts):
+        store = ThreadStateStore(rf_bytes=8 * 1024, l2_slots=10)
+        for ptid in range(contexts):
+            store.register(ptid)
+        everyone = list(range(contexts))
+        for target in starts:
+            if target < contexts:
+                store.start_latency(target, evictable=everyone)
+        occupancy = store.occupancy()
+        assert sum(occupancy.values()) == contexts
+        assert occupancy["rf"] <= store.rf_capacity
+        assert occupancy["l2"] <= store.l2_capacity
+
+    @given(contexts=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_footprint_arithmetic(self, contexts):
+        store = ThreadStateStore()
+        for ptid in range(contexts):
+            store.register(ptid)
+        assert store.footprint_bytes() == contexts * store.context_bytes
+
+
+class TestWatchBusProperties:
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=2**20 // 8 - 1)
+                          .map(lambda w: w * 8),
+                          min_size=1, max_size=20, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_every_armed_address_triggers(self, addrs):
+        memory = Memory()
+        watch = memory.watch_bus.watch(addrs, owner="prop")
+        hit_lines = set()
+        original = set(a // 64 for a in addrs)
+
+        for addr in addrs:
+            if watch.armed:
+                before = watch.trigger_count
+                memory.store(addr, 1)
+                assert watch.trigger_count == before + 1
+                hit_lines.add(addr // 64)
+        assert hit_lines <= original
+
+    @given(addr=st.integers(min_value=0, max_value=2**20).map(
+        lambda w: w * 8 % (2**20)))
+    @settings(max_examples=30, deadline=None)
+    def test_cancel_is_final(self, addr):
+        memory = Memory()
+        watch = memory.watch_bus.watch(addr)
+        watch.cancel()
+        memory.store(addr, 1)
+        assert watch.trigger_count == 0
+        assert memory.watch_bus.watchers_on(addr) == 0

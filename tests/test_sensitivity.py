@@ -1,0 +1,89 @@
+"""Tests for the cost-model sensitivity / break-even analysis."""
+
+import pytest
+
+from repro.arch.costs import CostModel
+from repro.errors import ConfigError
+from repro.experiments.sensitivity import (
+    BreakEven,
+    _binary_search_flip,
+    io_wakeup_break_even,
+    ipc_break_even,
+    run_sensitivity,
+    sensitivity_table,
+    syscall_break_even,
+)
+
+
+class TestBinarySearchFlip:
+    def test_finds_exact_threshold(self):
+        # proposal wins iff v >= 17
+        assert _binary_search_flip(1, 100, lambda v: v >= 17) == 17
+
+    def test_none_when_always_winning(self):
+        assert _binary_search_flip(1, 100, lambda v: True) is None
+
+    def test_raises_when_never_winning(self):
+        with pytest.raises(ConfigError):
+            _binary_search_flip(1, 100, lambda v: False)
+
+
+class TestSyscallBreakEven:
+    def test_default_margin_order_of_magnitude(self):
+        record = syscall_break_even()
+        assert record.break_even_value is not None
+        assert record.margin > 5  # mode switch must get ~10x cheaper
+
+    def test_break_even_is_consistent(self):
+        record = syscall_break_even()
+        costs = CostModel()
+        hw = (costs.rpull_rpush_cycles + costs.hw_start_rf_cycles
+              + costs.monitor_wakeup_cycles)
+        at_flip = costs.scaled(
+            mode_switch_cycles=record.break_even_value)
+        below_flip = costs.scaled(
+            mode_switch_cycles=record.break_even_value - 1)
+        assert hw < at_flip.syscall_sync_cycles()
+        assert hw >= below_flip.syscall_sync_cycles()
+
+    def test_respects_custom_cost_model(self):
+        cheap = CostModel().scaled(mode_switch_cycles=100)
+        record = syscall_break_even(cheap)
+        assert record.default_value == 100
+
+
+class TestIoWakeupBreakEven:
+    def test_huge_headroom(self):
+        record = io_wakeup_break_even()
+        # the RF start may grow >100x before mwait loses to the IDT chain
+        assert record.margin > 50
+
+    def test_break_even_below_idt_chain(self):
+        record = io_wakeup_break_even()
+        costs = CostModel()
+        assert record.break_even_value <= costs.baseline_io_wakeup_cycles()
+
+
+class TestIpcBreakEven:
+    def test_scheduler_must_shrink_dramatically(self):
+        record = ipc_break_even()
+        assert record.break_even_value is not None
+        assert record.margin > 10
+
+
+class TestRunAndRender:
+    def test_all_three_searches(self):
+        results = run_sensitivity()
+        assert len(results) == 3
+        assert all(isinstance(r, BreakEven) for r in results)
+
+    def test_all_margins_comfortable(self):
+        # the reproduction's headline: no conclusion flips within an
+        # order of magnitude of the paper's constants
+        for record in run_sensitivity():
+            assert record.margin > 5, record.constant
+
+    def test_table_renders(self):
+        table = sensitivity_table()
+        assert len(table) == 3
+        assert "safety margin" in table.render()

@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_after_runs_callback_at_right_time():
+    engine = Engine()
+    seen = []
+    engine.after(10, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [10]
+    assert engine.now == 10
+
+
+def test_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.at(42, seen.append, "x")
+    engine.run()
+    assert seen == ["x"]
+    assert engine.now == 42
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.after(30, seen.append, "c")
+    engine.after(10, seen.append, "a")
+    engine.after(20, seen.append, "b")
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    seen = []
+    for tag in "abcde":
+        engine.after(5, seen.append, tag)
+    engine.run()
+    assert seen == list("abcde")
+
+
+def test_scheduling_in_past_raises():
+    engine = Engine()
+    engine.after(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Engine().after(-1, lambda: None)
+
+
+def test_cancel_prevents_dispatch():
+    engine = Engine()
+    seen = []
+    call = engine.after(10, seen.append, "x")
+    call.cancel()
+    engine.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    call = engine.after(10, lambda: None)
+    call.cancel()
+    call.cancel()
+    engine.run()
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    seen = []
+    engine.after(10, seen.append, "early")
+    engine.after(100, seen.append, "late")
+    engine.run(until=50)
+    assert seen == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    engine = Engine()
+    engine.run(until=1000)
+    assert engine.now == 1000
+
+
+def test_run_max_events():
+    engine = Engine()
+    seen = []
+    for i in range(5):
+        engine.after(i + 1, seen.append, i)
+    engine.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            engine.after(10, chain, n + 1)
+
+    engine.after(10, chain, 0)
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert engine.now == 50
+
+
+def test_pending_events_excludes_cancelled():
+    engine = Engine()
+    engine.after(10, lambda: None)
+    call = engine.after(20, lambda: None)
+    call.cancel()
+    assert engine.pending_events == 1
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    for i in range(7):
+        engine.after(i, lambda: None)
+    engine.run()
+    assert engine.events_processed == 7
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_same_time_callback_from_callback_runs_same_run():
+    engine = Engine()
+    seen = []
+    engine.after(10, lambda: engine.at(10, seen.append, "nested"))
+    engine.run()
+    assert seen == ["nested"]

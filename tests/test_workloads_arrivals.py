@@ -1,0 +1,97 @@
+"""Tests for arrival processes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+
+
+def take(gen, n):
+    return [next(gen) for _ in range(n)]
+
+
+class TestDeterministicArrivals:
+    def test_constant_gaps(self):
+        arr = DeterministicArrivals(500)
+        gaps = take(arr.gaps(random.Random(1)), 10)
+        assert gaps == [500.0] * 10
+
+    def test_mean_gap(self):
+        assert DeterministicArrivals(123).mean_gap_cycles() == 123
+
+    def test_rate(self):
+        assert DeterministicArrivals(100).rate_per_cycle() == pytest.approx(0.01)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigError):
+            DeterministicArrivals(0)
+
+
+class TestPoissonArrivals:
+    def test_mean_converges(self):
+        arr = PoissonArrivals(1000)
+        gaps = take(arr.gaps(random.Random(42)), 20_000)
+        assert sum(gaps) / len(gaps) == pytest.approx(1000, rel=0.05)
+
+    def test_gaps_positive(self):
+        arr = PoissonArrivals(50)
+        assert all(g > 0 for g in take(arr.gaps(random.Random(7)), 1000))
+
+    def test_deterministic_under_same_seed(self):
+        arr = PoissonArrivals(100)
+        a = take(arr.gaps(random.Random(3)), 50)
+        b = take(arr.gaps(random.Random(3)), 50)
+        assert a == b
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(-1)
+
+
+class TestBurstyArrivals:
+    def test_mean_gap_weighted(self):
+        arr = BurstyArrivals(100, 1000, mean_burst_events=10,
+                             mean_idle_events=10)
+        # 10 events at 100 + 10 events at 1000 over 20 events
+        assert arr.mean_gap_cycles() == pytest.approx(550)
+
+    def test_empirical_mean_close(self):
+        arr = BurstyArrivals(100, 2000, mean_burst_events=20,
+                             mean_idle_events=5)
+        gaps = take(arr.gaps(random.Random(11)), 50_000)
+        assert sum(gaps) / len(gaps) == pytest.approx(
+            arr.mean_gap_cycles(), rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        # squared CV of gaps must exceed 1 (Poisson's value)
+        arr = BurstyArrivals(100, 5000, mean_burst_events=30,
+                             mean_idle_events=3)
+        gaps = take(arr.gaps(random.Random(5)), 30_000)
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert var / mean ** 2 > 1.5
+
+    def test_rejects_burst_slower_than_idle(self):
+        with pytest.raises(ConfigError):
+            BurstyArrivals(1000, 100)
+
+    def test_rejects_bad_state_lengths(self):
+        with pytest.raises(ConfigError):
+            BurstyArrivals(100, 1000, mean_burst_events=0.5)
+
+
+@given(mean=st.floats(min_value=1.0, max_value=1e6),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_poisson_gaps_always_positive_property(mean, seed):
+    arr = PoissonArrivals(mean)
+    gaps = take(arr.gaps(random.Random(seed)), 100)
+    assert all(g >= 0 for g in gaps)

@@ -1,0 +1,99 @@
+"""Tests for request traces and load arithmetic."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    Constant,
+    DeterministicArrivals,
+    Exponential,
+    PoissonArrivals,
+    Request,
+    RequestGenerator,
+    gap_for_load,
+    offered_load,
+)
+
+
+def make_gen(gap=100, svc=50, seed=1):
+    return RequestGenerator(DeterministicArrivals(gap), Constant(svc),
+                            random.Random(seed))
+
+
+class TestRequest:
+    def test_latency_and_waiting(self):
+        req = Request(0, arrival_time=100, service_cycles=50,
+                      start_time=120, finish_time=170)
+        assert req.latency == 70
+        assert req.waiting_time == 20
+        assert req.slowdown == pytest.approx(70 / 50)
+
+    def test_latency_requires_finish(self):
+        req = Request(0, arrival_time=0, service_cycles=1)
+        with pytest.raises(ConfigError):
+            _ = req.latency
+
+    def test_waiting_requires_start(self):
+        req = Request(0, arrival_time=0, service_cycles=1, finish_time=5)
+        with pytest.raises(ConfigError):
+            _ = req.waiting_time
+
+
+class TestRequestGenerator:
+    def test_trace_is_sorted_and_sized(self):
+        trace = make_gen().trace(20)
+        assert len(trace) == 20
+        times = [r.arrival_time for r in trace]
+        assert times == sorted(times)
+        assert [r.req_id for r in trace] == list(range(20))
+
+    def test_deterministic_arrivals_spacing(self):
+        trace = make_gen(gap=100).trace(5)
+        assert [r.arrival_time for r in trace] == [100, 200, 300, 400, 500]
+
+    def test_same_seed_same_trace(self):
+        gen_a = RequestGenerator(PoissonArrivals(100), Exponential(50),
+                                 random.Random(9))
+        gen_b = RequestGenerator(PoissonArrivals(100), Exponential(50),
+                                 random.Random(9))
+        a = gen_a.trace(30)
+        b = gen_b.trace(30)
+        assert [(r.arrival_time, r.service_cycles) for r in a] == \
+               [(r.arrival_time, r.service_cycles) for r in b]
+
+    def test_stream_is_unbounded_and_matches_trace_semantics(self):
+        gen = make_gen()
+        stream = gen.stream()
+        first = [next(stream) for _ in range(3)]
+        assert [r.req_id for r in first] == [0, 1, 2]
+
+    def test_trace_rejects_zero_count(self):
+        with pytest.raises(ConfigError):
+            make_gen().trace(0)
+
+    def test_offered_load(self):
+        gen = make_gen(gap=100, svc=50)
+        assert gen.offered_load() == pytest.approx(0.5)
+
+
+class TestLoadArithmetic:
+    def test_offered_load_multi_server(self):
+        assert offered_load(DeterministicArrivals(100), Constant(50),
+                            servers=2) == pytest.approx(0.25)
+
+    def test_gap_for_load_roundtrip(self):
+        svc = Constant(800)
+        for load in (0.1, 0.5, 0.9):
+            gap = gap_for_load(svc, load)
+            assert offered_load(DeterministicArrivals(gap), svc) \
+                == pytest.approx(load)
+
+    def test_gap_for_load_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            gap_for_load(Constant(1), 0)
+
+    def test_offered_load_rejects_zero_servers(self):
+        with pytest.raises(ConfigError):
+            offered_load(DeterministicArrivals(1), Constant(1), servers=0)

@@ -1,0 +1,126 @@
+"""Tests for service-time distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    Bimodal,
+    BoundedPareto,
+    Constant,
+    Exponential,
+    LogNormal,
+)
+
+ALL_DISTS = [
+    Constant(1000),
+    Exponential(1000),
+    Bimodal(500, 50_000, p_long=0.01),
+    BoundedPareto(100, 100_000, shape=1.2),
+    LogNormal(1000, scv=4.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+class TestCommonProperties:
+    def test_samples_positive(self, dist):
+        rng = random.Random(1)
+        assert all(dist.sample(rng) > 0 for _ in range(2000))
+
+    def test_empirical_mean_matches(self, dist):
+        rng = random.Random(2)
+        n = 60_000
+        mean = sum(dist.sample(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(dist.mean(), rel=0.15)
+
+    def test_scv_consistent_with_variance(self, dist):
+        assert dist.scv() == pytest.approx(
+            dist.variance() / dist.mean() ** 2)
+
+
+class TestConstant:
+    def test_zero_variance(self):
+        assert Constant(500).variance() == 0
+        assert Constant(500).scv() == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            Constant(0)
+
+
+class TestExponential:
+    def test_scv_is_one(self):
+        assert Exponential(777).scv() == pytest.approx(1.0)
+
+
+class TestBimodal:
+    def test_mean_formula(self):
+        d = Bimodal(100, 10_000, p_long=0.1)
+        assert d.mean() == pytest.approx(0.9 * 100 + 0.1 * 10_000)
+
+    def test_high_scv(self):
+        assert Bimodal(500, 500_000, p_long=0.001).scv() > 10
+
+    def test_only_two_values_sampled(self):
+        d = Bimodal(100, 200, p_long=0.5)
+        rng = random.Random(3)
+        assert {d.sample(rng) for _ in range(100)} <= {100.0, 200.0}
+
+    def test_rejects_short_ge_long(self):
+        with pytest.raises(ConfigError):
+            Bimodal(100, 100)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigError):
+            Bimodal(1, 2, p_long=1.0)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        d = BoundedPareto(100, 1000, shape=1.5)
+        rng = random.Random(4)
+        for _ in range(5000):
+            s = d.sample(rng)
+            assert 100 <= s <= 1000 + 1e-9
+
+    def test_mean_at_shape_one_special_case(self):
+        d = BoundedPareto(100, 10_000, shape=1.0)
+        rng = random.Random(5)
+        n = 80_000
+        mean = sum(d.sample(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(d.mean(), rel=0.1)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            BoundedPareto(100, 50)
+
+
+class TestLogNormal:
+    def test_mean_parameterization_exact(self):
+        d = LogNormal(2500, scv=9.0)
+        assert d.mean() == 2500
+        assert d.scv() == pytest.approx(9.0)
+
+    def test_scv_sweep_preserves_mean(self):
+        rng = random.Random(6)
+        for scv in (0.25, 1.0, 4.0, 16.0):
+            d = LogNormal(1000, scv=scv)
+            n = 120_000
+            mean = sum(d.sample(rng) for _ in range(n)) / n
+            assert mean == pytest.approx(1000, rel=0.2)
+
+    def test_rejects_nonpositive_scv(self):
+        with pytest.raises(ConfigError):
+            LogNormal(1000, scv=0)
+
+
+@given(mean=st.floats(min_value=10, max_value=1e5),
+       scv=st.floats(min_value=0.1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_lognormal_moment_parameterization_property(mean, scv):
+    d = LogNormal(mean, scv=scv)
+    assert d.mean() == pytest.approx(mean)
+    assert d.variance() == pytest.approx(scv * mean * mean, rel=1e-9)
