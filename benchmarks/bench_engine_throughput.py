@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Engine/core throughput baseline: events/sec and simulated cycles/sec.
+
+Measures the three layers the fast path is built from and writes the
+numbers to ``BENCH_engine.json`` at the repo root so future PRs have a
+trajectory to compare against:
+
+- ``engine``: raw callback dispatch throughput (a self-rescheduling
+  timer chain -- every simulated cycle is one heap pop + one push);
+- ``core``: simulated cycles/sec of an SMT core grinding through
+  ``work`` bursts, with the busy-cycle fast-forward on and off;
+- ``evaluation``: end-to-end wall-clock of the full and quick E01-E13
+  evaluations (serial, in-process).
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_engine.json"
+
+
+def bench_engine_dispatch(events: int = 300_000) -> dict:
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+
+    def tick() -> None:
+        if engine.now < events:
+            engine.after(1, tick)
+
+    engine.after(1, tick)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "events": engine.events_processed,
+        "seconds": round(elapsed, 4),
+        "events_per_sec": round(engine.events_processed / elapsed),
+    }
+
+
+def _work_machine(fast_forward: bool, burst: int, threads: int):
+    from repro.machine import build_machine
+
+    machine = build_machine(cores=1, hw_threads_per_core=max(threads, 2),
+                            smt_width=2, fast_forward=fast_forward)
+    for ptid in range(threads):
+        machine.load_asm(ptid, f"work {burst}\nhalt", supervisor=True)
+        machine.boot(ptid)
+    return machine
+
+
+def bench_core_cycles(fast_forward: bool, burst: int, threads: int = 4) -> dict:
+    machine = _work_machine(fast_forward, burst, threads)
+    start = time.perf_counter()
+    machine.run()
+    elapsed = time.perf_counter() - start
+    cycles = machine.engine.now
+    return {
+        "fast_forward": fast_forward,
+        "threads": threads,
+        "burst_cycles": burst,
+        "simulated_cycles": cycles,
+        "seconds": round(elapsed, 4),
+        "cycles_per_sec": round(cycles / elapsed),
+    }
+
+
+def bench_evaluation(quick: bool) -> dict:
+    from repro.experiments import all_experiments
+
+    start = time.perf_counter()
+    for experiment in all_experiments():
+        experiment.run(quick=quick)
+    elapsed = time.perf_counter() - start
+    return {"quick": quick, "seconds": round(elapsed, 2)}
+
+
+def main() -> None:
+    sys.setrecursionlimit(10_000)
+    payload = {
+        "engine": bench_engine_dispatch(),
+        "core": [
+            # naive gets a smaller burst so the bench stays quick; the
+            # metric is cycles/sec, which is size-independent here
+            bench_core_cycles(fast_forward=True, burst=2_000_000),
+            bench_core_cycles(fast_forward=False, burst=100_000),
+        ],
+        "evaluation": [
+            bench_evaluation(quick=True),
+            bench_evaluation(quick=False),
+        ],
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -99,7 +99,38 @@ def experiments_markdown() -> str:
     for experiment in all_experiments():
         lines.append(f"| {experiment.experiment_id} | {experiment.title} "
                      f"| {experiment.paper_anchor} |")
-    lines.append("")
+    lines += [
+        "",
+        "## Running the evaluation",
+        "",
+        "`python -m repro evaluate [--quick] [--markdown] [--parallel N]`",
+        "(or `python examples/run_evaluation.py` with the same flags)",
+        "runs every experiment. `--parallel N` fans them across N worker",
+        "processes; each experiment builds its own machine from a fixed",
+        "seed, so the output is byte-identical to a serial run",
+        "(`--parallel 0` uses one worker per CPU).",
+        "",
+        "## Fast-forward invariants",
+        "",
+        "The simulator skips busy cycles instead of stepping them",
+        "(`HWCore._fast_forward`): when every issueable hardware thread",
+        "is mid-`work`, the core advances the clock in one jump, capped",
+        "by the earliest of (a) a work burst ending, (b) a busy thread",
+        "re-joining the issue pool, (c) the next pending engine event,",
+        "and (d) the `run(until=...)` horizon. Under slot contention the",
+        "jump is restricted to whole round-robin rotations, which pick",
+        "every thread the same number of times and leave the rotation",
+        "pointer unchanged. The batch replays per-round accounting",
+        "exactly -- retired instructions, per-thread busy cycles, issue",
+        "rounds, storage recency order, policy virtual time, trace",
+        "stream, and the final clock are identical to naive stepping;",
+        "only `events_processed` drops (that is the point). Set",
+        "`REPRO_NO_FASTFORWARD=1` (or `MachineConfig.fast_forward=False`)",
+        "to force naive stepping; `tests/test_fastforward_equivalence.py`",
+        "diffs the two modes on contended SMT workloads with monitors,",
+        "DMA wakeups, and exceptions.",
+        "",
+    ]
     return "\n".join(lines)
 
 

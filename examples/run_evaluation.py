@@ -3,35 +3,44 @@
 
 This is the programmatic twin of ``pytest benchmarks/ --benchmark-only``.
 With ``--markdown`` it emits the per-experiment sections EXPERIMENTS.md
-embeds; with ``--quick`` it uses the small CI-sized workloads.
+embeds; with ``--quick`` it uses the small CI-sized workloads; with
+``--parallel N`` the experiments fan across N worker processes (every
+experiment is self-contained, so the output is identical to serial;
+``--parallel 0`` uses one worker per CPU).
 
-Run:  python examples/run_evaluation.py [--quick] [--markdown]
+Run:  python examples/run_evaluation.py [--quick] [--markdown] [--parallel N]
 """
 
+import argparse
 import sys
 
-from repro.experiments import all_experiments
+from repro.experiments.parallel import run_parallel
 
 
 def main() -> None:
-    quick = "--quick" in sys.argv
-    markdown = "--markdown" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--markdown", action="store_true")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N")
+    args = parser.parse_args()
+    results = run_parallel(
+        quick=args.quick,
+        workers=None if args.parallel == 0 else args.parallel)
     failures = []
-    for experiment in all_experiments():
-        result = experiment.run(quick=quick)
-        if markdown:
+    for result in results:
+        if args.markdown:
             print(result.render_markdown())
             print()
         else:
             print(result.render())
             print()
         if not result.all_supported():
-            failures.append(experiment.experiment_id)
+            failures.append(result.experiment_id)
     if failures:
         print(f"REFUTED claims in: {', '.join(failures)}", file=sys.stderr)
         sys.exit(1)
-    if not markdown:
-        print(f"All {len(all_experiments())} experiments support the "
+    if not args.markdown:
+        print(f"All {len(results)} experiments support the "
               f"paper's claims.")
 
 

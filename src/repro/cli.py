@@ -40,6 +40,10 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--quick", action="store_true")
     evaluate.add_argument("--markdown", action="store_true",
                           help="emit EXPERIMENTS.md sections")
+    evaluate.add_argument("--parallel", type=int, default=1, metavar="N",
+                          help="fan experiments across N worker processes "
+                               "(results are identical to serial; 0 = one "
+                               "per CPU)")
 
     sub.add_parser("sensitivity",
                    help="cost-model break-even analysis")
@@ -88,16 +92,22 @@ def _cmd_isa() -> int:
     return 0
 
 
-def _cmd_evaluate(quick: bool, markdown: bool) -> int:
-    from repro.experiments import all_experiments
+def _cmd_evaluate(quick: bool, markdown: bool, parallel: int = 1) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.parallel import run_parallel
 
+    try:
+        results = run_parallel(quick=quick,
+                               workers=None if parallel == 0 else parallel)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     failures: List[str] = []
-    for experiment in all_experiments():
-        result = experiment.run(quick=quick)
+    for result in results:
         print(result.render_markdown() if markdown else result.render())
         print()
         if not result.all_supported():
-            failures.append(experiment.experiment_id)
+            failures.append(result.experiment_id)
     if failures:
         print(f"REFUTED claims in: {', '.join(failures)}", file=sys.stderr)
         return 1
@@ -122,7 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args.experiment_id, args.quick, args.seed,
                             args.as_json)
         if args.command == "evaluate":
-            return _cmd_evaluate(args.quick, args.markdown)
+            return _cmd_evaluate(args.quick, args.markdown, args.parallel)
         if args.command == "sensitivity":
             return _cmd_sensitivity()
         if args.command == "isa":

@@ -1,0 +1,70 @@
+"""Parallel experiment runner: fan E01-E13 across worker processes.
+
+Every experiment builds its own :class:`~repro.machine.Machine` (or raw
+:class:`~repro.sim.engine.Engine`) from a fixed seed and shares no
+state with the others, so running them in separate OS processes is
+trivially deterministic: each worker produces exactly the result the
+serial loop would have, and only wall-clock changes. Results come back
+as pickled :class:`~repro.analysis.report.ExperimentResult` objects in
+experiment-id order, so callers cannot tell (other than by the clock)
+which runner produced them.
+
+The unit of distribution is the whole experiment. Sweep cells inside an
+experiment are also independent, but splitting them would move the
+aggregation (tables, claims) across process boundaries for little gain:
+the three slowest experiments already land on distinct workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.report import ExperimentResult
+from repro.errors import ConfigError
+
+
+def _run_one(job: Tuple[str, bool, Optional[int]]) -> ExperimentResult:
+    """Worker entry point: run one experiment by id (module level so it
+    pickles under the spawn start method)."""
+    experiment_id, quick, seed = job
+    from repro.experiments import get_experiment
+
+    experiment = get_experiment(experiment_id)
+    if seed is None:
+        return experiment.run(quick=quick)
+    return experiment.run(quick=quick, seed=seed)
+
+
+def run_parallel(experiment_ids: Optional[Sequence[str]] = None,
+                 quick: bool = False, workers: Optional[int] = None,
+                 seed: Optional[int] = None) -> List[ExperimentResult]:
+    """Run experiments across ``workers`` processes; results in id order.
+
+    ``experiment_ids`` defaults to every registered experiment;
+    ``workers`` defaults to the machine's CPU count (capped at the
+    number of experiments). ``workers=1`` runs serially in-process,
+    which is also the fallback when only one experiment is requested.
+    """
+    from repro.experiments import all_experiments, get_experiment
+
+    if experiment_ids is None:
+        experiments = all_experiments()
+    else:
+        experiments = [get_experiment(eid) for eid in experiment_ids]
+    if workers is not None and workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(experiments))
+    if workers <= 1 or len(experiments) <= 1:
+        if seed is None:
+            return [experiment.run(quick=quick)
+                    for experiment in experiments]
+        return [experiment.run(quick=quick, seed=seed)
+                for experiment in experiments]
+    jobs = [(experiment.experiment_id, quick, seed)
+            for experiment in experiments]
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(_run_one, jobs)

@@ -25,7 +25,8 @@ class Chip:
                  security_model: str = "tdt",
                  rf_bytes: int = 64 * 1024,
                  issue_policy_factory=None,
-                 tracer: Optional[Any] = None):
+                 tracer: Optional[Any] = None,
+                 fast_forward: bool = True):
         if cores < 1:
             raise ConfigError(f"chip needs at least one core, got {cores}")
         self.engine = engine
@@ -39,7 +40,8 @@ class Chip:
             self.cores.append(HWCore(
                 engine, memory, core_id=core_id, num_ptids=num_ptids,
                 smt_width=smt_width, costs=self.costs, issue_policy=policy,
-                storage=storage, security_model=security_model, tracer=tracer))
+                storage=storage, security_model=security_model, tracer=tracer,
+                fast_forward=fast_forward))
 
     def core(self, core_id: int) -> HWCore:
         if not 0 <= core_id < len(self.cores):

@@ -25,6 +25,7 @@ analogue and halts the core.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.arch.costs import CostModel
@@ -55,7 +56,8 @@ class HWCore:
                  issue_policy: Optional[Any] = None,
                  storage: Optional[ThreadStateStore] = None,
                  security_model: str = "tdt",
-                 tracer: Optional[Any] = None):
+                 tracer: Optional[Any] = None,
+                 fast_forward: bool = True):
         if num_ptids < 1:
             raise ConfigError(f"core needs at least one ptid, got {num_ptids}")
         if smt_width < 1:
@@ -81,6 +83,12 @@ class HWCore:
             thread.monitor = thread_monitor  # type: ignore[attr-defined]
             self.threads.append(thread)
             self.storage.register(ptid)
+        # REPRO_NO_FASTFORWARD=1 forces naive cycle stepping everywhere
+        # (the reference mode the equivalence tests diff against)
+        self.fast_forward_enabled = (
+            bool(fast_forward)
+            and os.environ.get("REPRO_NO_FASTFORWARD", "") not in ("1", "true", "yes")
+        )
         self.halted = False
         self.halt_reason: Optional[str] = None
         self._wake = Signal(f"core{core_id}-wake")
@@ -166,8 +174,10 @@ class HWCore:
     # ==================================================================
     def _run(self):
         engine = self.engine
+        threads = self.threads
+        RUNNABLE = PtidState.RUNNABLE
         while not self.halted:
-            runnable = [t for t in self.threads if t.runnable]
+            runnable = [t for t in threads if t.state is RUNNABLE]
             if not runnable:
                 idle_from = engine.now
                 yield self._wake
@@ -179,11 +189,108 @@ class HWCore:
                 next_free = min(t.busy_until for t in runnable)
                 yield next_free - now
                 continue
+            if self.fast_forward_enabled:
+                skipped = self._fast_forward(runnable, issueable, now)
+                if skipped:
+                    yield skipped
+                    continue
             picked = self.issue_policy.select(issueable, self.smt_width)
             self.issue_rounds += 1
             for thread in picked:
                 self._issue_one(thread)
             yield 1
+
+    def _fast_forward(self, thread_list, issueable, now: int) -> int:
+        """Skip ahead over busy-cycle rounds that cannot change anything.
+
+        When every issueable thread is mid-``work``, each upcoming round
+        only decrements counters -- no instruction fetch, no memory
+        traffic, no traces. The issue pattern is then frozen until (a) a
+        burst ends, (b) a busy/starting thread re-joins the pool, (c) an
+        external engine event fires (anything that can wake or stop a
+        thread is an event), or (d) the ``run(until=...)`` horizon, past
+        which our catch-up resume would never be dispatched. Batching up
+        to that horizon replays the exact per-round accounting
+        (``cycles_busy``, ``issue_rounds``, storage recency order,
+        policy state), so a fast-forwarded run is indistinguishable from
+        naive stepping except for ``events_processed``.
+
+        Returns the number of cycles consumed (the caller yields it), or
+        0 when no safe batch exists and the round must issue naively.
+        """
+        min_work = None
+        for t in issueable:
+            w = t.work_remaining
+            if w <= 0:
+                return 0
+            if min_work is None or w < min_work:
+                min_work = w
+        horizon = min_work
+        for t in thread_list:
+            b = t.busy_until
+            if b > now and b - now < horizon:
+                horizon = b - now
+        engine = self.engine
+        nxt = engine.next_event_time()
+        if nxt is not None and nxt - now < horizon:
+            horizon = nxt - now
+        until = engine.run_until
+        if until is not None and until - now < horizon:
+            horizon = until - now
+        n = len(issueable)
+        width = self.smt_width
+        policy = self.issue_policy
+        if n <= width:
+            # no slot contention: every thread burns one cycle per round
+            if horizon < 2:
+                return 0
+            advance = getattr(policy, "advance_rounds", None)
+            if advance is None:
+                return 0
+            picked = policy.select(issueable, width)
+            if len(picked) != n:
+                # an opted-in policy left slots empty; the select already
+                # charged its state, so finish this one round naively
+                self.issue_rounds += 1
+                for thread in picked:
+                    self._issue_one(thread)
+                return 1
+            order = advance(picked, horizon - 1)
+            for t in picked:
+                t.work_remaining -= horizon
+                t.cycles_busy += horizon
+                t.busy_until = now + horizon
+            touch = self.storage.touch
+            for t in order:
+                touch(t.ptid)
+            self.issue_rounds += horizon
+            return horizon
+        # contention: only a rotation-invariant policy (round-robin) is
+        # provably periodic -- any n consecutive rounds over a stable
+        # n-thread set pick every thread exactly `width` times
+        if not getattr(policy, "rotation_invariant", False):
+            return 0
+        blocks = min(min_work // width, horizon // n)
+        rounds = blocks * n
+        if rounds < 2:
+            return 0
+        per_thread = blocks * width
+        for t in issueable:
+            t.work_remaining -= per_thread
+            t.cycles_busy += per_thread
+            t.busy_until = now + rounds
+        # replay the storage-recency stream of the final rotation: every
+        # thread is touched there, so its order is all LRU ever sees
+        ordered = sorted(issueable, key=lambda t: t.ptid)
+        start = policy._next % n
+        touch = self.storage.touch
+        first_round = rounds - n
+        for r in range(n):
+            base = (start + (first_round + r) * width) % n
+            for i in range(width):
+                touch(ordered[(base + i) % n].ptid)
+        self.issue_rounds += rounds
+        return rounds
 
     def _issue_one(self, thread: HardwareThread) -> None:
         cost = 0

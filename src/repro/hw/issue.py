@@ -20,9 +20,22 @@ from repro.hw.ptid import HardwareThread
 
 
 class RoundRobinIssue:
-    """Fine-grain RR: rotate through issueable ptids each round."""
+    """Fine-grain RR: rotate through issueable ptids each round.
+
+    The rotation is periodic, which is what makes the core's busy-cycle
+    fast-forward possible: when every issueable thread is picked each
+    round (no slot contention), repeating the round leaves the rotation
+    pointer unchanged, and under contention any ``n`` consecutive rounds
+    over a stable ``n``-thread set pick every thread exactly ``width``
+    times and return the pointer to its starting value (``n * width`` is
+    a multiple of ``n``). Both facts are relied on by
+    :meth:`repro.hw.core.HWCore._fast_forward`.
+    """
 
     name = "round-robin"
+    #: consecutive identical rounds permute deterministically -- the core
+    #: may batch contended rounds in whole rotations (see module note).
+    rotation_invariant = True
 
     def __init__(self) -> None:
         self._next = 0
@@ -38,6 +51,16 @@ class RoundRobinIssue:
         start = self._next % n
         picked = [ordered[(start + i) % n] for i in range(min(width, n))]
         self._next = (start + len(picked)) % n
+        return picked
+
+    def advance_rounds(self, picked: List[HardwareThread],
+                       rounds: int) -> List[HardwareThread]:
+        """Replay ``rounds`` uncontended rounds that pick exactly ``picked``.
+
+        With every issueable thread picked, :meth:`select` advances the
+        rotation pointer by ``n (mod n)`` -- a no-op -- and the pick
+        order never changes, so the last round's order is ``picked``.
+        """
         return picked
 
 
@@ -84,6 +107,32 @@ class PriorityWeightedIssue:
         self._system_vtime = max(self._system_vtime,
                                  min(self._vtime[t.ptid] for t in issueable))
         return picked
+
+    def advance_rounds(self, picked: List[HardwareThread],
+                       rounds: int) -> List[HardwareThread]:
+        """Replay ``rounds`` uncontended rounds that pick exactly ``picked``.
+
+        Repeats the per-round virtual-time increment with the same
+        floating-point operation order as ``rounds`` calls to
+        :meth:`select` would use, so fast-forwarded and naive runs stay
+        bit-identical. The system-virtual-time update telescopes (the
+        per-round minimum is non-decreasing, so only the final round's
+        minimum can raise it), and the returned list reproduces the
+        *last* round's pick order -- threads with different priorities
+        drift apart in virtual time, so the order can change mid-batch.
+        """
+        vtime = self._vtime
+        before_last = {}
+        for thread in picked:
+            increment = 1.0 / max(thread.priority, 1)
+            value = vtime[thread.ptid]
+            for _ in range(rounds - 1):
+                value += increment
+            before_last[thread.ptid] = value
+            vtime[thread.ptid] = value + increment
+        self._system_vtime = max(self._system_vtime,
+                                 min(vtime[t.ptid] for t in picked))
+        return sorted(picked, key=lambda t: (before_last[t.ptid], t.ptid))
 
     def forget(self, ptid: int) -> None:
         """Drop bookkeeping for a retired ptid."""

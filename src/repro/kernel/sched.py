@@ -21,6 +21,8 @@ Three disciplines make that claim testable:
 from __future__ import annotations
 
 import abc
+import heapq
+import itertools
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
@@ -163,6 +165,13 @@ class ProcessorSharingServer(QueueingServer):
     State is advanced lazily at arrival/completion events, so the
     simulation is event-exact with no quantum artifacts and no switch
     cost -- per the paper, hardware multiplexing makes the switch free.
+
+    Every job progresses at the *same* rate between events, so instead
+    of rewriting per-job remaining-work at each event (O(jobs) per
+    event, quadratic under load) the server keeps one global
+    virtual-progress accumulator and stores each job in a heap keyed by
+    ``remaining-at-arrival + progress-at-arrival``; a job is done when
+    the accumulator passes its key. Every event is O(log jobs).
     """
 
     def __init__(self, engine: Engine, name: str = "",
@@ -172,55 +181,62 @@ class ProcessorSharingServer(QueueingServer):
             raise ConfigError(f"servers must be >= 1, got {servers}")
         super().__init__(engine, name, recorder)
         self.servers = servers
-        self._jobs: List[Tuple[Request, float]] = []  # (request, remaining)
+        self._progress = 0.0  # per-job virtual progress since t=0
+        # (service + progress-at-arrival, arrival seq, request); the seq
+        # both breaks ties deterministically and preserves the finish
+        # order of the old per-job list (insertion order)
+        self._heap: List[Tuple[float, int, Request]] = []
+        self._seq = itertools.count()
         self._last_update = 0
         self._pending_completion: Optional[ScheduledCall] = None
 
     def offer(self, request: Request) -> None:
         self._advance()
         request.start_time = float(self.engine.now)
-        self._jobs.append((request, max(1.0, float(request.service_cycles))))
+        key = max(1.0, float(request.service_cycles)) + self._progress
+        heapq.heappush(self._heap, (key, next(self._seq), request))
         self._reschedule()
 
     def in_flight(self) -> int:
-        return len(self._jobs)
+        return len(self._heap)
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
-        """Apply progress since the last event to every active job."""
+        """Accumulate the shared progress since the last event."""
         now = self.engine.now
         elapsed = now - self._last_update
         self._last_update = now
-        if not self._jobs or elapsed <= 0:
+        n = len(self._heap)
+        if not n or elapsed <= 0:
             return
-        active = min(len(self._jobs), self.servers)
-        self.busy_cycles += elapsed * active  # server-cycles consumed
-        rate = elapsed * min(1.0, self.servers / len(self._jobs))
-        self._jobs = [(req, rem - rate) for req, rem in self._jobs]
+        self.busy_cycles += elapsed * min(n, self.servers)  # server-cycles
+        self._progress += elapsed * min(1.0, self.servers / n)
 
     def _reschedule(self) -> None:
         if self._pending_completion is not None:
             self._pending_completion.cancel()
             self._pending_completion = None
-        if not self._jobs:
+        heap = self._heap
+        if not heap:
             return
-        min_remaining = min(rem for _req, rem in self._jobs)
+        min_remaining = heap[0][0] - self._progress
         # next completion after min_remaining / per-job-rate of wall time
-        slowdown = max(1.0, len(self._jobs) / self.servers)
+        slowdown = max(1.0, len(heap) / self.servers)
         delay = max(1, int(round(min_remaining * slowdown)))
         self._pending_completion = self.engine.after(delay, self._complete)
 
     def _complete(self) -> None:
         self._pending_completion = None
         self._advance()
-        finished = [(req, rem) for req, rem in self._jobs if rem <= 0.5]
-        self._jobs = [(req, rem) for req, rem in self._jobs if rem > 0.5]
-        for request, _rem in finished:
-            self._finish(request)
+        heap = self._heap
+        progress = self._progress
+        finished = []
+        while heap and heap[0][0] - progress <= 0.5:
+            finished.append(heapq.heappop(heap))
         if not finished:
             # rounding left the minimum just above zero; finish it now
-            request, _rem = min(self._jobs, key=lambda jr: jr[1])
-            self._jobs = [(r, rem) for r, rem in self._jobs
-                          if r.req_id != request.req_id]
+            finished.append(heapq.heappop(heap))
+        finished.sort(key=lambda entry: entry[1])  # arrival order
+        for _key, _seq, request in finished:
             self._finish(request)
         self._reschedule()

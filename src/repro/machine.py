@@ -50,6 +50,10 @@ class MachineConfig:
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0xC0FFEE
     trace: bool = False
+    #: busy-cycle fast-forward (see HWCore._fast_forward); results are
+    #: identical either way, only wall-clock differs. The
+    #: REPRO_NO_FASTFORWARD env var overrides this to False.
+    fast_forward: bool = True
 
     def validate(self) -> None:
         if self.cores < 1:
@@ -85,7 +89,8 @@ class Machine:
                          security_model=config.security_model,
                          rf_bytes=config.rf_bytes,
                          issue_policy_factory=policy_factory,
-                         tracer=self.tracer)
+                         tracer=self.tracer,
+                         fast_forward=config.fast_forward)
         self.dma = DmaEngine(self.engine, self.memory)
 
     # ------------------------------------------------------------------

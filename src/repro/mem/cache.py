@@ -12,7 +12,6 @@ This is an access-timing model only -- data values live in
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigError
@@ -39,7 +38,9 @@ class Cache:
         self.hit_cycles = hit_cycles
         self.parent = parent
         self.miss_cycles = miss_cycles  # cost beyond the last level
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        # plain dicts in LRU order: insertion order is recency order, a
+        # hit re-inserts, and the first key is always the LRU victim
+        self._sets: List[dict] = [{} for _ in range(self.sets)]
         self._pinned: set = set()
         self.hits = 0
         self.misses = 0
@@ -50,15 +51,28 @@ class Cache:
     def access(self, addr: int) -> int:
         """Touch ``addr``; returns total load-to-use cycles."""
         line = addr // self.line_bytes
-        index = line % self.sets
-        ways = self._sets[index]
+        ways = self._sets[line % self.sets]
         if line in ways:
             self.hits += 1
-            ways.move_to_end(line)
+            del ways[line]
+            ways[line] = True
             return self.hit_cycles
         self.misses += 1
-        below = self.parent.access(addr) if self.parent else self.miss_cycles
-        self._fill(index, line)
+        parent = self.parent
+        below = parent.access(addr) if parent is not None else self.miss_cycles
+        # fill, inlined from _fill: this runs once per miss at every level
+        if len(ways) >= self.ways:
+            pinned = self._pinned
+            if not pinned or pinned.isdisjoint(ways):
+                victim = next(iter(ways))
+            else:
+                victim = next((l for l in ways if l not in pinned), None)
+                if victim is None:
+                    self.bypasses += 1  # set fully pinned: do not allocate
+                    return self.hit_cycles + below
+            del ways[victim]
+            self.evictions += 1
+        ways[line] = True
         return self.hit_cycles + below
 
     def contains(self, addr: int) -> bool:
@@ -77,7 +91,8 @@ class Cache:
             index = line % self.sets
             ways = self._sets[index]
             if line in ways:
-                ways.move_to_end(line)
+                del ways[line]
+                ways[line] = True
             else:
                 self._fill(index, line)
         if self.parent is not None:
@@ -121,10 +136,14 @@ class Cache:
     def _fill(self, index: int, line: int) -> None:
         ways = self._sets[index]
         if len(ways) >= self.ways:
-            victim = next((l for l in ways if l not in self._pinned), None)
-            if victim is None:
-                self.bypasses += 1  # set fully pinned: do not allocate
-                return
+            pinned = self._pinned
+            if not pinned or pinned.isdisjoint(ways):
+                victim = next(iter(ways))
+            else:
+                victim = next((l for l in ways if l not in pinned), None)
+                if victim is None:
+                    self.bypasses += 1  # set fully pinned: do not allocate
+                    return
             del ways[victim]
             self.evictions += 1
         ways[line] = True
@@ -185,8 +204,64 @@ class CacheHierarchy:
 
         The basic tool for measuring pollution: run a working set, switch
         to another, return, and compare cycles.
+
+        This is the pollution experiments' inner loop (millions of
+        accesses per sweep cell), so the three levels are walked in one
+        flat pass with per-level state in locals instead of recursive
+        :meth:`Cache.access` calls -- same lookups, same fills, same
+        counters, a fraction of the interpreter overhead.
         """
+        l1, l2, l3 = self.l1, self.l2, self.l3
+        line_bytes = l1.line_bytes
+        if l2.line_bytes != line_bytes or l3.line_bytes != line_bytes:
+            # unequal line sizes can't share one line index; generic path
+            total = 0
+            for addr in range(base, base + nbytes, stride):
+                total += l1.access(addr)
+            return total
+        levels = []
+        for cache in (l1, l2, l3):
+            levels.append((cache._sets, cache.sets, cache.ways,
+                           cache._pinned, cache.hit_cycles))
+        dram = l3.miss_cycles
+        hits = [0, 0, 0]
+        misses = [0, 0, 0]
+        evictions = [0, 0, 0]
+        bypasses = [0, 0, 0]
         total = 0
         for addr in range(base, base + nbytes, stride):
-            total += self.access(addr)
+            line = addr // line_bytes
+            for k in (0, 1, 2):
+                sets, nsets, nways, pinned, hit_cycles = levels[k]
+                ways = sets[line % nsets]
+                total += hit_cycles
+                if line in ways:
+                    hits[k] += 1
+                    del ways[line]
+                    ways[line] = True
+                    break
+                misses[k] += 1
+                if len(ways) >= nways:
+                    if not pinned or pinned.isdisjoint(ways):
+                        del ways[next(iter(ways))]
+                        evictions[k] += 1
+                        ways[line] = True
+                    else:
+                        victim = next(
+                            (l for l in ways if l not in pinned), None)
+                        if victim is None:
+                            bypasses[k] += 1  # fully pinned set
+                        else:
+                            del ways[victim]
+                            evictions[k] += 1
+                            ways[line] = True
+                else:
+                    ways[line] = True
+            else:
+                total += dram  # missed every level
+        for k, cache in enumerate((l1, l2, l3)):
+            cache.hits += hits[k]
+            cache.misses += misses[k]
+            cache.evictions += evictions[k]
+            cache.bypasses += bypasses[k]
         return total

@@ -4,6 +4,14 @@ Time is a monotonically non-decreasing integer measured in CPU cycles.
 Components schedule plain callbacks with :meth:`Engine.at` /
 :meth:`Engine.after`, or spawn generator coroutines via
 :meth:`Engine.spawn` (see :mod:`repro.sim.process`).
+
+The dispatch loop is the single hottest path in the whole simulator
+(every instruction issue, wakeup, and timer rides through it), so
+:meth:`Engine.run` pops the heap inline instead of peeking and
+re-popping, and the live-event count is a counter maintained by
+``at``/``cancel``/dispatch rather than an O(n) heap scan. Cancelled
+entries are compacted out of the heap lazily once they outnumber the
+live ones.
 """
 
 from __future__ import annotations
@@ -14,21 +22,30 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+#: Queues smaller than this are never compacted (the scan costs more
+#: than the dead entries do).
+_COMPACT_MIN_QUEUE = 64
+
 
 class ScheduledCall:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_engine")
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...],
+                 engine: "Optional[Engine]" = None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from firing. Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -47,6 +64,8 @@ class Engine:
         self._queue: List[Tuple[int, int, ScheduledCall]] = []
         self._seq = itertools.count()
         self._events_processed: int = 0
+        self._live: int = 0  # scheduled, not cancelled, not yet dispatched
+        self._run_until: Optional[int] = None
         self._processes: "List[Any]" = []  # live Process objects (weak bookkeeping)
 
     # ------------------------------------------------------------------
@@ -62,6 +81,17 @@ class Engine:
         """Total callbacks dispatched since construction."""
         return self._events_processed
 
+    @property
+    def run_until(self) -> Optional[int]:
+        """The ``until`` horizon of the innermost active :meth:`run`.
+
+        ``None`` outside a bounded run. Components that skip ahead in
+        time (the core's busy-cycle fast-forward) must not jump past
+        this, or their catch-up event would be left undispatched when
+        the run stops at the horizon.
+        """
+        return self._run_until
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
@@ -72,8 +102,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is t={self._now}"
             )
-        call = ScheduledCall(time, fn, args)
+        call = ScheduledCall(time, fn, args, self)
         heapq.heappush(self._queue, (time, next(self._seq), call))
+        self._live += 1
         return call
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
@@ -94,6 +125,15 @@ class Engine:
         self._processes.append(proc)
         return proc
 
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        # lazily compact once cancelled entries outnumber live ones
+        queue = self._queue
+        dead = len(queue) - self._live
+        if dead > len(queue) // 2 and len(queue) >= _COMPACT_MIN_QUEUE:
+            self._queue = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(self._queue)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -105,9 +145,28 @@ class Engine:
                 continue
             self._now = time
             self._events_processed += 1
+            self._live -= 1
             call.fn(*call.args)
             return True
         return False
+
+    def run_until_idle(self) -> int:
+        """Drain the queue completely; returns the time of the last event.
+
+        The fast path of :meth:`run`: no horizon or event-budget checks
+        in the loop body.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time, _seq, call = pop(queue)
+            if call.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            self._live -= 1
+            call.fn(*call.args)
+        return self._now
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -116,29 +175,49 @@ class Engine:
         clock is advanced to exactly ``until`` even if the queue drained
         earlier, so rate computations stay meaningful.
         """
-        dispatched = 0
-        while self._queue:
-            if max_events is not None and dispatched >= max_events:
-                break
-            next_time = self._peek_time()
-            if until is not None and next_time is not None and next_time > until:
-                break
-            if not self.step():
-                break
-            dispatched += 1
+        if until is None and max_events is None:
+            return self.run_until_idle()
+        prior_until = self._run_until
+        self._run_until = int(until) if until is not None else None
+        try:
+            queue = self._queue
+            pop = heapq.heappop
+            dispatched = 0
+            while queue:
+                time, _seq, call = queue[0]
+                if call.cancelled:
+                    pop(queue)
+                    continue
+                if until is not None and time > until:
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                pop(queue)
+                self._now = time
+                self._events_processed += 1
+                self._live -= 1
+                dispatched += 1
+                call.fn(*call.args)
+        finally:
+            self._run_until = prior_until
         if until is not None and self._now < until:
             self._now = int(until)
         return self._now
 
-    def _peek_time(self) -> Optional[int]:
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+    def next_event_time(self) -> Optional[int]:
+        """Time of the earliest pending live event, or None when idle."""
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
+
+    # retained alias: older callers/tests peek through the private name
+    _peek_time = next_event_time
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, non-cancelled callbacks."""
-        return sum(1 for _, _, c in self._queue if not c.cancelled)
+        """Number of scheduled, non-cancelled callbacks (O(1))."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Engine t={self._now} pending={self.pending_events}>"

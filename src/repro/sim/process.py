@@ -118,6 +118,9 @@ class Process:
     Never instantiate directly -- use :meth:`Engine.spawn`.
     """
 
+    __slots__ = ("engine", "generator", "name", "alive", "result", "error",
+                 "_joiners", "_pending_detach", "_interrupted")
+
     def __init__(self, engine: Any, generator: Any, name: Optional[str] = None):
         self.engine = engine
         self.generator = generator
@@ -171,6 +174,15 @@ class Process:
 
     def _block_on(self, waitable: Any) -> None:
         self._pending_detach.clear()
+        if type(waitable) is int:
+            # bare-int timeout: the dominant yield by far (every issue
+            # round and service slice), worth skipping the Timeout
+            # wrapper and the `after` indirection
+            if waitable < 0:
+                raise SimulationError(f"negative timeout {waitable}")
+            engine = self.engine
+            engine.at(engine._now + waitable, self._resume, None)
+            return
         if isinstance(waitable, int):
             waitable = Timeout(waitable)
         if isinstance(waitable, Timeout):

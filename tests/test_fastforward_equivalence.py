@@ -1,0 +1,134 @@
+"""Fast-forward vs naive stepping must be indistinguishable.
+
+The busy-cycle fast-forward in ``HWCore._fast_forward`` claims to
+replay exactly the accounting naive cycle-by-cycle stepping would have
+produced -- retired instructions, per-thread busy cycles, final clock,
+wakeup/exception counts, and the trace event stream. These tests run
+the same workload twice (``fast_forward=True`` vs ``False``) and diff
+everything except ``events`` (the one counter that legitimately drops:
+skipping cycles is the whole point).
+"""
+
+import os
+
+import pytest
+
+from repro import build_machine
+
+
+def _strip_events(stats):
+    return {key: value for key, value in stats.items() if key != "events"}
+
+
+def _thread_fingerprint(machine, ptids):
+    return [
+        {
+            "ptid": thread.ptid,
+            "state": thread.state.name,
+            "finished": thread.finished,
+            "instructions": thread.instructions_executed,
+            "cycles_busy": thread.cycles_busy,
+            "wakeups": thread.wakeups,
+            "exceptions": thread.exceptions_raised,
+            "pc": thread.arch.pc,
+        }
+        for thread in (machine.thread(p) for p in ptids)
+    ]
+
+
+def _run_contended(fast_forward: bool):
+    """Contended SMT: 5 work-burst threads on 2 slots, plus a DMA-woken
+    monitor sleeper and an exception-raising thread."""
+    machine = build_machine(cores=1, hw_threads_per_core=8, smt_width=2,
+                            fast_forward=fast_forward, trace=True)
+    box = machine.alloc("box", 64)
+    edp = machine.alloc("edp", 256)
+    for ptid in range(5):
+        machine.load_asm(ptid, f"""
+            movi r1, 0
+            movi r2, 3
+        loop:
+            work {600 + 137 * ptid}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """, supervisor=True)
+        machine.boot(ptid)
+    machine.load_asm(5, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        ld r2, r1, 0
+        work 400
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(5)
+    machine.load_asm(6, """
+        work 300
+        movi r1, 7
+        movi r2, 0
+        div r3, r1, r2
+        halt
+    """, supervisor=True, edp=edp.base)
+    machine.boot(6)
+    machine.dma.write_word(box.base, 42)
+    machine.run()
+    machine.run(until=machine.engine.now + 100)  # horizon-capped tail
+    return machine
+
+
+def _run_uncontended_priority(fast_forward: bool):
+    """Uncontended slots with the weighted-fair policy (the float
+    virtual-time replay path of ``advance_rounds``)."""
+    machine = build_machine(cores=1, hw_threads_per_core=4, smt_width=2,
+                            fast_forward=fast_forward,
+                            issue_policy="priority", trace=True)
+    machine.core(0).set_priority(0, 4)
+    machine.load_asm(0, "work 5000\nmovi r9, 1\nhalt", supervisor=True)
+    machine.load_asm(1, "work 3000\nmovi r9, 2\nhalt", supervisor=True)
+    machine.boot(0)
+    machine.boot(1)
+    machine.run()
+    return machine
+
+
+@pytest.mark.parametrize("workload", [_run_contended,
+                                      _run_uncontended_priority])
+def test_fast_forward_matches_naive(workload):
+    fast = workload(True)
+    naive = workload(False)
+    ptids = range(fast.config.hw_threads_per_core)
+    assert fast.engine.now == naive.engine.now
+    assert _strip_events(fast.stats()) == _strip_events(naive.stats())
+    assert (_thread_fingerprint(fast, ptids)
+            == _thread_fingerprint(naive, ptids))
+    assert fast.tracer.events == naive.tracer.events
+
+
+def test_fast_forward_actually_skips_events():
+    fast = _run_contended(True)
+    naive = _run_contended(False)
+    assert fast.engine.events_processed < naive.engine.events_processed / 5
+
+
+def test_storage_recency_order_preserved():
+    fast = _run_contended(True)
+    naive = _run_contended(False)
+
+    def recency(machine):
+        last_use = machine.core(0).storage._last_use
+        return sorted(last_use, key=lambda ptid: last_use[ptid])
+
+    assert recency(fast) == recency(naive)
+
+
+def test_env_var_forces_naive(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+    machine = build_machine(fast_forward=True)
+    assert not machine.core(0).fast_forward_enabled
+
+
+def test_config_disables_fast_forward():
+    machine = build_machine(fast_forward=False)
+    assert not machine.core(0).fast_forward_enabled
+    assert build_machine().core(0).fast_forward_enabled
