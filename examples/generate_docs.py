@@ -5,7 +5,10 @@
 - ``docs/cost-model.md`` -- every latency constant with its value and
   the paper sentence that motivates it, from
   :class:`repro.arch.costs.CostModel`;
-- ``docs/experiments.md`` -- the experiment registry with anchors.
+- ``docs/experiments.md`` -- the experiment registry with anchors;
+- ``docs/observability.md`` -- the instrumentation layer: metric
+  namespace (from :data:`repro.obs.snapshot.NAMESPACE`), timeline span
+  states, the cycle-attribution buckets, and the Perfetto workflow.
 
 ``tests/test_docs_fresh.py`` regenerates these in memory and fails if
 the committed files drifted from the code.
@@ -134,10 +137,112 @@ def experiments_markdown() -> str:
     return "\n".join(lines)
 
 
+def observability_markdown() -> str:
+    from repro.obs.metrics import (
+        HISTOGRAM_LINEAR_BITS,
+        HISTOGRAM_SUBBUCKET_BITS,
+    )
+    from repro.obs.profile import BUCKETS
+    from repro.obs.snapshot import NAMESPACE
+    from repro.obs.timeline import ThreadState
+
+    lines = [
+        "# Observability",
+        "",
+        "Instrumentation is **off by default and zero-cost when off**:",
+        "the issue loop selects an entirely uninstrumented body at",
+        "startup, and everything else guards on one attribute-is-None",
+        "check. `BENCH_engine.json` records the measured disabled-mode",
+        "overhead (`instrumentation.disabled_overhead_pct`, gated <3%",
+        "in CI).",
+        "",
+        "Turn it on per machine with `build_machine(instrument=True)`,",
+        "or for a whole region with a session -- every machine built",
+        "inside instruments itself, and out-of-machine components",
+        "(kernel I/O and queueing servers, cache hierarchies, NICs)",
+        "register as metric sources and timeline tracks:",
+        "",
+        "```python",
+        "import repro.obs as obs",
+        "",
+        'with obs.session("E03") as sess:',
+        "    result = experiment.run(quick=True)",
+        "snapshot = sess.snapshot()      # JSON-ready metrics + profiles",
+        "trace = sess.chrome_trace()     # open in ui.perfetto.dev",
+        "```",
+        "",
+        "From the CLI:",
+        "",
+        "```",
+        "python -m repro run E03 --trace out.json --metrics out-metrics.json",
+        "python -m repro profile E03",
+        "python -m repro evaluate --quick --metrics metrics-dir/",
+        "```",
+        "",
+        "## Metric namespace",
+        "",
+        "Hierarchical dotted names; these prefixes are reserved:",
+        "",
+        "| prefix | meaning |",
+        "|---|---|",
+    ]
+    for prefix, meaning in NAMESPACE.items():
+        lines.append(f"| `{prefix}` | {meaning} |")
+    lines += [
+        "",
+        "Counters add across machines; gauges are last-write-wins;",
+        "histograms are log-linear (HdrHistogram-style): exact below",
+        f"2^{HISTOGRAM_LINEAR_BITS}, then 2^{HISTOGRAM_SUBBUCKET_BITS}",
+        "sub-buckets per power of two, so percentile error is bounded",
+        f"at 2^-{HISTOGRAM_SUBBUCKET_BITS} (6.25%) relative with",
+        "constant memory.",
+        "",
+        "## Timeline span states",
+        "",
+        "Per-(core, ptid) spans, emitted from the simulator's own state",
+        "chokepoints so the timeline cannot drift from the simulation:",
+        "",
+        "| state | meaning |",
+        "|---|---|",
+    ]
+    descriptions = {
+        ThreadState.RUNNING: "RUNNABLE: competing for issue slots",
+        ThreadState.MWAIT: "WAITING: parked on a monitor address",
+        ThreadState.STOPPED: "DISABLED: stopped / not yet started",
+        ThreadState.SPILLED: "state demoted out of the register file",
+    }
+    for state in ThreadState:
+        lines.append(f"| `{state.value}` | {descriptions[state]} |")
+    lines += [
+        "",
+        "In the Perfetto export each core is a *process* and each ptid",
+        "a *thread*; session-level component tracks (I/O and queueing",
+        "servers) appear as their own named processes. Timestamps are",
+        "microseconds at the machine's configured frequency; the exact",
+        "cycle stamps ride along in `args`.",
+        "",
+        "## Cycle attribution",
+        "",
+        "`python -m repro profile <id>` buckets every cycle of every",
+        "core into exactly one of:",
+        "",
+    ]
+    lines += [f"- `{bucket}`" for bucket in BUCKETS]
+    lines += [
+        "",
+        "The invariant -- enforced by `CoreProfile.snapshot` and checked",
+        "on every experiment in `tests/test_obs_profile.py` -- is that",
+        "the buckets sum *exactly* to `engine.now` for every core.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 GENERATORS = {
     "isa.md": isa_markdown,
     "cost-model.md": cost_model_markdown,
     "experiments.md": experiments_markdown,
+    "observability.md": observability_markdown,
 }
 
 

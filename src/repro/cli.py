@@ -3,8 +3,12 @@
 Subcommands:
 
 - ``list`` -- the registered experiments with their paper anchors;
-- ``run E03 [--quick]`` -- one experiment, tables + claims printed;
-- ``evaluate [--quick] [--markdown]`` -- the full E01-E13 evaluation;
+- ``run E03 [--quick] [--trace out.json] [--metrics out.json]`` -- one
+  experiment, optionally with a Perfetto trace and a metrics snapshot;
+- ``evaluate [--quick] [--markdown] [--metrics DIR]`` -- the full
+  E01-E13 evaluation, optionally writing one metrics snapshot per
+  experiment;
+- ``profile E03`` -- the cycle-attribution profile of one experiment;
 - ``sensitivity`` -- the cost-model break-even analysis.
 """
 
@@ -35,6 +39,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=lambda v: int(v, 0), default=0xC0FFEE)
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="emit structured JSON instead of tables")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     dest="trace_path",
+                     help="export a Perfetto/Chrome trace-event JSON of "
+                          "the run (open in ui.perfetto.dev)")
+    run.add_argument("--metrics", metavar="FILE", default=None,
+                     dest="metrics_path",
+                     help="write the run's metrics snapshot as JSON")
 
     evaluate = sub.add_parser("evaluate", help="run every experiment")
     evaluate.add_argument("--quick", action="store_true")
@@ -44,6 +55,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="fan experiments across N worker processes "
                                "(results are identical to serial; 0 = one "
                                "per CPU)")
+    evaluate.add_argument("--metrics", metavar="DIR", default=None,
+                          dest="metrics_dir",
+                          help="write one metrics-snapshot JSON per "
+                               "experiment into DIR")
+
+    profile = sub.add_parser("profile",
+                             help="cycle-attribution profile of one "
+                                  "experiment (issue/stall/mwait/"
+                                  "fastforward/idle per core)")
+    profile.add_argument("experiment_id", help="e.g. E03")
+    profile.add_argument("--quick", action="store_true",
+                         help="small CI-sized workloads")
+    profile.add_argument("--seed", type=lambda v: int(v, 0),
+                         default=0xC0FFEE)
 
     sub.add_parser("sensitivity",
                    help="cost-model break-even analysis")
@@ -66,7 +91,8 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(experiment_id: str, quick: bool, seed: int,
-             as_json: bool = False) -> int:
+             as_json: bool = False, trace_path: Optional[str] = None,
+             metrics_path: Optional[str] = None) -> int:
     from repro.errors import ReproError
     from repro.experiments import get_experiment
 
@@ -75,9 +101,65 @@ def _cmd_run(experiment_id: str, quick: bool, seed: int,
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    result = experiment.run(quick=quick, seed=seed)
+    if trace_path or metrics_path:
+        # run inside an obs session: every machine the experiment builds
+        # instruments itself and lands in the session
+        import repro.obs as obs
+
+        with obs.session(experiment.experiment_id) as sess:
+            result = experiment.run(quick=quick, seed=seed)
+        if trace_path:
+            from repro.obs.export import write_trace
+            write_trace(trace_path, sess.chrome_trace())
+            print(f"trace written to {trace_path} "
+                  f"(open in ui.perfetto.dev)", file=sys.stderr)
+        if metrics_path:
+            from repro.obs.snapshot import write_snapshot
+            write_snapshot(metrics_path, sess.snapshot())
+            print(f"metrics snapshot written to {metrics_path}",
+                  file=sys.stderr)
+    else:
+        result = experiment.run(quick=quick, seed=seed)
     print(result.to_json() if as_json else result.render())
     return 0 if result.all_supported() else 1
+
+
+def _cmd_profile(experiment_id: str, quick: bool, seed: int) -> int:
+    from repro.analysis.tables import Table
+    from repro.errors import ReproError
+    from repro.experiments import get_experiment
+    from repro.obs.profile import BUCKETS
+    import repro.obs as obs
+
+    try:
+        experiment = get_experiment(experiment_id.upper())
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    with obs.session(experiment.experiment_id) as sess:
+        experiment.run(quick=quick, seed=seed)
+    totals = {bucket: 0 for bucket in BUCKETS}
+    grand = 0
+    cores = 0
+    for machine in sess.machines:
+        profiles = machine.obs.profiler.snapshot(machine.engine.now)
+        for buckets in profiles.values():
+            cores += 1
+            grand += buckets["total"]
+            for bucket in BUCKETS:
+                totals[bucket] += buckets[bucket]
+    table = Table(["bucket", "cycles", "share"],
+                  title=f"{experiment.experiment_id} cycle attribution "
+                        f"({cores} cores over {len(sess.machines)} "
+                        f"machines)")
+    for bucket in BUCKETS:
+        share = totals[bucket] / grand if grand else 0.0
+        table.add_row(bucket, totals[bucket], f"{share:7.2%}")
+    table.add_row("total", grand, f"{1:7.2%}" if grand else f"{0:7.2%}")
+    print(table.render())
+    # snapshot() raises if any core's buckets fail to sum to engine.now
+    print("attribution exact: buckets sum to engine.now on every core")
+    return 0
 
 
 def _cmd_isa() -> int:
@@ -92,13 +174,29 @@ def _cmd_isa() -> int:
     return 0
 
 
-def _cmd_evaluate(quick: bool, markdown: bool, parallel: int = 1) -> int:
-    from repro.errors import ReproError
-    from repro.experiments.parallel import run_parallel
+def _cmd_evaluate(quick: bool, markdown: bool, parallel: int = 1,
+                  metrics_dir: Optional[str] = None) -> int:
+    import os
 
+    from repro.errors import ReproError
+    from repro.experiments.parallel import run_instrumented, run_parallel
+
+    workers = None if parallel == 0 else parallel
     try:
-        results = run_parallel(quick=quick,
-                               workers=None if parallel == 0 else parallel)
+        if metrics_dir is not None:
+            from repro.obs.snapshot import write_snapshot
+
+            run = run_instrumented(quick=quick, workers=workers)
+            results = run.results
+            os.makedirs(metrics_dir, exist_ok=True)
+            for experiment_id, snapshot in run.snapshots.items():
+                path = os.path.join(metrics_dir,
+                                    f"{experiment_id}-metrics.json")
+                write_snapshot(path, snapshot)
+            print(f"{len(run.snapshots)} metrics snapshots written to "
+                  f"{metrics_dir}", file=sys.stderr)
+        else:
+            results = run_parallel(quick=quick, workers=workers)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -130,9 +228,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args.experiment_id, args.quick, args.seed,
-                            args.as_json)
+                            args.as_json, args.trace_path,
+                            args.metrics_path)
         if args.command == "evaluate":
-            return _cmd_evaluate(args.quick, args.markdown, args.parallel)
+            return _cmd_evaluate(args.quick, args.markdown, args.parallel,
+                                 args.metrics_dir)
+        if args.command == "profile":
+            return _cmd_profile(args.experiment_id, args.quick, args.seed)
         if args.command == "sensitivity":
             return _cmd_sensitivity()
         if args.command == "isa":

@@ -169,7 +169,20 @@ class Nic:
         self.delivery_time: Dict[int, int] = {}   # seq -> cycles landed
         self.generated_time: Dict[int, int] = {}  # seq -> cycles arrived on wire
         self._stop = False
+        # observability: harvested at snapshot time only (no per-packet
+        # cost beyond the counters the NIC keeps anyway)
+        import repro.obs as obs
+        session = obs.active()
+        if session is not None:
+            session.register_source("dev.nic", self.fill_metrics)
         self._watch_tx()
+
+    def fill_metrics(self, registry, prefix: str) -> None:
+        """Snapshot-time metric harvest (see repro.obs.snapshot)."""
+        registry.inc(f"{prefix}.packets_generated", self.packets_generated)
+        registry.inc(f"{prefix}.packets_delivered", self.packets_delivered)
+        registry.inc(f"{prefix}.packets_dropped", self.packets_dropped)
+        registry.inc(f"{prefix}.tx_completed", self.tx_completed)
 
     # ------------------------------------------------------------------
     # RX: packet generation

@@ -19,22 +19,78 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import ExperimentResult
 from repro.errors import ConfigError
+from repro.sim.trace import Tracer
+
+#: One worker job: (experiment_id, quick, seed, instrument).
+_Job = Tuple[str, bool, Optional[int], bool]
 
 
-def _run_one(job: Tuple[str, bool, Optional[int]]) -> ExperimentResult:
+@dataclass
+class InstrumentedRun:
+    """What :func:`run_instrumented` returns: results in id order, one
+    metrics snapshot per experiment, and the workers' tracers merged
+    (counters add, events concatenate up to the limit)."""
+
+    results: List[ExperimentResult]
+    snapshots: Dict[str, Dict[str, Any]]
+    tracer: Tracer = field(default_factory=lambda: Tracer(enabled=True))
+
+
+def _run_one(job: _Job) -> Tuple[ExperimentResult,
+                                 Optional[Dict[str, Any]],
+                                 Optional[Tracer]]:
     """Worker entry point: run one experiment by id (module level so it
-    pickles under the spawn start method)."""
-    experiment_id, quick, seed = job
+    pickles under the spawn start method).
+
+    With ``instrument`` set, the experiment runs inside a fresh obs
+    session: every machine it builds instruments itself, and the worker
+    sends back the session snapshot plus an engine-free tracer merging
+    the machines' counters (a live Tracer holds the engine and its
+    generator processes, which do not pickle -- Tracer.merge strips
+    that)."""
+    experiment_id, quick, seed, instrument = job
     from repro.experiments import get_experiment
 
     experiment = get_experiment(experiment_id)
-    if seed is None:
-        return experiment.run(quick=quick)
-    return experiment.run(quick=quick, seed=seed)
+    kwargs = {"quick": quick} if seed is None else {"quick": quick,
+                                                    "seed": seed}
+    if not instrument:
+        return experiment.run(**kwargs), None, None
+    import repro.obs as obs
+
+    with obs.session(experiment_id) as sess:
+        result = experiment.run(**kwargs)
+    summary = Tracer(enabled=True)
+    for machine in sess.machines:
+        summary.merge(machine.tracer)
+    return result, sess.snapshot(), summary
+
+
+def _execute(jobs: List[_Job], workers: int) -> List[Tuple]:
+    if workers <= 1 or len(jobs) <= 1:
+        return [_run_one(job) for job in jobs]
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(_run_one, jobs)
+
+
+def _plan(experiment_ids: Optional[Sequence[str]],
+          workers: Optional[int]) -> Tuple[List, int]:
+    from repro.experiments import all_experiments, get_experiment
+
+    if experiment_ids is None:
+        experiments = all_experiments()
+    else:
+        experiments = [get_experiment(eid) for eid in experiment_ids]
+    if workers is not None and workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return experiments, min(workers, len(experiments))
 
 
 def run_parallel(experiment_ids: Optional[Sequence[str]] = None,
@@ -47,24 +103,25 @@ def run_parallel(experiment_ids: Optional[Sequence[str]] = None,
     number of experiments). ``workers=1`` runs serially in-process,
     which is also the fallback when only one experiment is requested.
     """
-    from repro.experiments import all_experiments, get_experiment
+    experiments, workers = _plan(experiment_ids, workers)
+    jobs: List[_Job] = [(e.experiment_id, quick, seed, False)
+                        for e in experiments]
+    return [result for result, _snapshot, _tracer
+            in _execute(jobs, workers)]
 
-    if experiment_ids is None:
-        experiments = all_experiments()
-    else:
-        experiments = [get_experiment(eid) for eid in experiment_ids]
-    if workers is not None and workers < 1:
-        raise ConfigError(f"workers must be >= 1, got {workers}")
-    if workers is None:
-        workers = os.cpu_count() or 1
-    workers = min(workers, len(experiments))
-    if workers <= 1 or len(experiments) <= 1:
-        if seed is None:
-            return [experiment.run(quick=quick)
-                    for experiment in experiments]
-        return [experiment.run(quick=quick, seed=seed)
-                for experiment in experiments]
-    jobs = [(experiment.experiment_id, quick, seed)
-            for experiment in experiments]
-    with multiprocessing.Pool(processes=workers) as pool:
-        return pool.map(_run_one, jobs)
+
+def run_instrumented(experiment_ids: Optional[Sequence[str]] = None,
+                     quick: bool = False, workers: Optional[int] = None,
+                     seed: Optional[int] = None) -> InstrumentedRun:
+    """Like :func:`run_parallel` but with full observability: each
+    experiment runs in its own obs session (serial and parallel produce
+    identical snapshots -- the session is per-experiment either way)."""
+    experiments, workers = _plan(experiment_ids, workers)
+    jobs: List[_Job] = [(e.experiment_id, quick, seed, True)
+                        for e in experiments]
+    run = InstrumentedRun(results=[], snapshots={})
+    for job, (result, snapshot, tracer) in zip(jobs, _execute(jobs, workers)):
+        run.results.append(result)
+        run.snapshots[job[0]] = snapshot
+        run.tracer.merge(tracer)
+    return run

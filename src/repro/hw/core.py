@@ -73,6 +73,12 @@ class HWCore:
         self.storage = storage or ThreadStateStore(self.costs)
         self.security_model = security_model
         self.tracer = tracer
+        # observability (attach_obs): all None when uninstrumented, and
+        # the issue loop picks an entirely unguarded body in that case
+        self.timeline: Optional[Any] = None
+        self.profile: Optional[Any] = None
+        self.metrics: Optional[Any] = None
+        self._wakeup_hist: Optional[Any] = None
         self.tdt_cache = TdtCache(self.costs)
         self.keys = KeyRegistry()
         self.threads: List[HardwareThread] = []
@@ -169,10 +175,34 @@ class HWCore:
         if self.halted:
             raise TripleFault(self.halt_reason or "core halted")
 
+    def attach_obs(self, obs: Any) -> None:
+        """Wire a :class:`repro.obs.MachineObs` bundle into this core.
+
+        Must happen before the engine first dispatches the issue loop
+        (``Machine.__init__`` does; the loop body picks its
+        instrumented/plain variant on first resume).
+        """
+        self.timeline = obs.timeline
+        self.profile = obs.profiler.core(self.core_id)
+        self.metrics = obs.registry
+        self._wakeup_hist = obs.registry.histogram(
+            f"core{self.core_id}.wakeup_latency_cycles")
+        self.storage.attach_obs(obs.timeline, self.core_id, self.engine)
+
     # ==================================================================
     # the issue loop
     # ==================================================================
     def _run(self):
+        # One-time fork, evaluated at the first engine dispatch (after
+        # Machine.__init__ has had its chance to attach_obs): the plain
+        # body is byte-for-byte the uninstrumented loop, so disabled
+        # instrumentation costs not even a branch per round.
+        if self.profile is None:
+            yield from self._run_plain()
+        else:
+            yield from self._run_instrumented()
+
+    def _run_plain(self):
         engine = self.engine
         threads = self.threads
         RUNNABLE = PtidState.RUNNABLE
@@ -199,6 +229,53 @@ class HWCore:
             for thread in picked:
                 self._issue_one(thread)
             yield 1
+
+    def _run_instrumented(self):
+        # Mirror of _run_plain with profiler attribution: a pend() is
+        # declared before every yield and settled on resume, so every
+        # cycle the loop lives through lands in exactly one bucket and
+        # the per-core buckets sum to engine.now (obs/profile.py).
+        engine = self.engine
+        threads = self.threads
+        profile = self.profile
+        RUNNABLE = PtidState.RUNNABLE
+        WAITING = PtidState.WAITING
+        while not self.halted:
+            runnable = [t for t in threads if t.state is RUNNABLE]
+            if not runnable:
+                idle_from = engine.now
+                # a wait with parked threads is the paper's mwait block;
+                # with none it is true idle (nothing loaded/all stopped)
+                if any(t.state is WAITING for t in threads):
+                    profile.pend("mwait", idle_from)
+                else:
+                    profile.pend("idle", idle_from)
+                yield self._wake
+                profile.settle(engine.now)
+                self.idle_cycles += engine.now - idle_from
+                continue
+            now = engine.now
+            issueable = [t for t in runnable if t.busy_until <= now]
+            if not issueable:
+                next_free = min(t.busy_until for t in runnable)
+                profile.pend("stall", now)
+                yield next_free - now
+                profile.settle(engine.now)
+                continue
+            if self.fast_forward_enabled:
+                skipped = self._fast_forward(runnable, issueable, now)
+                if skipped:
+                    profile.pend("fastforward", now)
+                    yield skipped
+                    profile.settle(engine.now)
+                    continue
+            picked = self.issue_policy.select(issueable, self.smt_width)
+            self.issue_rounds += 1
+            for thread in picked:
+                self._issue_one(thread)
+            profile.pend("issue", now)
+            yield 1
+            profile.settle(engine.now)
 
     def _fast_forward(self, thread_list, issueable, now: int) -> int:
         """Skip ahead over busy-cycle rounds that cannot change anything.
@@ -703,10 +780,14 @@ class HWCore:
                 self._note_enqueue(thread)
                 latency = self.storage.start_latency(
                     thread.ptid, self._idle_ptids())
-                thread.busy_until = max(
-                    thread.busy_until,
-                    self.engine.now + self.costs.monitor_wakeup_cycles + latency)
+                wake_cost = self.costs.monitor_wakeup_cycles + latency
+                thread.busy_until = max(thread.busy_until,
+                                        self.engine.now + wake_cost)
                 thread.monitor.consume_wakeup()
+                if self._wakeup_hist is not None:
+                    # notification-to-issueable latency: the monitor
+                    # wakeup plus the storage-tier start cost
+                    self._wakeup_hist.record(wake_cost)
                 self._wake.fire()
             # else: the pending flag makes the next mwait fall through
         return wakeup

@@ -63,6 +63,10 @@ class RoundRobinIssue:
         """
         return picked
 
+    def fill_metrics(self, registry, prefix: str) -> None:
+        """Snapshot-time harvest (nothing is recorded on the hot path)."""
+        registry.set(f"{prefix}.rotation_next", self._next)
+
 
 class PriorityWeightedIssue:
     """Virtual-time weighted fair issue: a priority-p thread gets p shares.
@@ -133,6 +137,11 @@ class PriorityWeightedIssue:
         self._system_vtime = max(self._system_vtime,
                                  min(vtime[t.ptid] for t in picked))
         return sorted(picked, key=lambda t: (before_last[t.ptid], t.ptid))
+
+    def fill_metrics(self, registry, prefix: str) -> None:
+        """Snapshot-time harvest (nothing is recorded on the hot path)."""
+        registry.set(f"{prefix}.system_vtime", round(self._system_vtime, 6))
+        registry.set(f"{prefix}.tracked_threads", len(self._vtime))
 
     def forget(self, ptid: int) -> None:
         """Drop bookkeeping for a retired ptid."""

@@ -14,6 +14,7 @@ from typing import Any, Optional
 
 from repro.arch.state import ArchState
 from repro.errors import SimulationError
+from repro.obs.timeline import ThreadState
 
 
 class PtidState(enum.Enum):
@@ -54,7 +55,11 @@ class HardwareThread:
         self.exceptions_raised = 0
 
     # ------------------------------------------------------------------
-    # state transitions (invoked by the core; guard invariants here)
+    # state transitions (invoked by the core; guard invariants here).
+    # These three are the only writers of `state`, which makes them the
+    # natural chokepoint for the observability timeline: when the core
+    # carries one (instrumented machines only; bare test cores may have
+    # core=None), every transition opens a span stamped with engine.now.
     # ------------------------------------------------------------------
     def make_runnable(self, reason: str = "") -> None:
         if self.state is PtidState.RUNNABLE:
@@ -63,15 +68,24 @@ class HardwareThread:
             raise SimulationError(
                 f"ptid {self.ptid} halted; restart it explicitly")
         self.state = PtidState.RUNNABLE
+        self._note_transition(ThreadState.RUNNING)
 
     def make_waiting(self) -> None:
         if self.state is not PtidState.RUNNABLE:
             raise SimulationError(
                 f"ptid {self.ptid} cannot wait from state {self.state}")
         self.state = PtidState.WAITING
+        self._note_transition(ThreadState.MWAIT)
 
     def make_disabled(self) -> None:
         self.state = PtidState.DISABLED
+        self._note_transition(ThreadState.STOPPED)
+
+    def _note_transition(self, state: ThreadState) -> None:
+        core = self.core
+        if core is not None and core.timeline is not None:
+            core.timeline.transition(core.core_id, self.ptid, state,
+                                     core.engine.now)
 
     # ------------------------------------------------------------------
     @property

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.arch.costs import CostModel
 from repro.arch.registers import register_file_capacity, state_bytes
 from repro.errors import ConfigError
+from repro.obs.timeline import ThreadState
 
 
 class StorageTier(str, enum.Enum):
@@ -59,6 +60,18 @@ class ThreadStateStore:
         self.promotions = 0
         self.demotions = 0
         self.starts_by_tier = {tier: 0 for tier in StorageTier}
+        # observability (attach_obs; None on bare stores built by tests
+        # and the queueing-only experiments)
+        self._timeline = None
+        self._obs_core_id = 0
+        self._obs_engine = None
+
+    def attach_obs(self, timeline, core_id: int, engine) -> None:
+        """Record tier moves on an observability timeline (set by the
+        owning core's ``attach_obs``)."""
+        self._timeline = timeline
+        self._obs_core_id = core_id
+        self._obs_engine = engine
 
     # ------------------------------------------------------------------
     def register(self, ptid: int) -> None:
@@ -107,6 +120,10 @@ class ThreadStateStore:
             self._make_room(evictable or [])
             self._tier[ptid] = StorageTier.RF
             self.promotions += 1
+            if self._timeline is not None:
+                self._timeline.instant(self._obs_core_id, ptid,
+                                       f"promote-{tier.value}",
+                                       self._obs_engine.now)
         self._touch(ptid)
         return latency
 
@@ -139,6 +156,15 @@ class ThreadStateStore:
         else:
             self._tier[victim] = StorageTier.L3
         self.demotions += 1
+        if self._timeline is not None:
+            # the victim's context left the register file: mark the
+            # demotion and flip its (idle) span to the spilled state
+            now = self._obs_engine.now
+            tier = self._tier[victim].value
+            self._timeline.instant(self._obs_core_id, victim,
+                                   f"demote-{tier}", now)
+            self._timeline.transition(self._obs_core_id, victim,
+                                      ThreadState.SPILLED, now)
 
     def _count(self, tier: StorageTier) -> int:
         return sum(1 for t in self._tier.values() if t is tier)

@@ -27,6 +27,7 @@ from typing import Deque, Optional, Tuple
 from repro.analysis.stats import LatencyRecorder
 from repro.arch.costs import CostModel
 from repro.errors import ConfigError
+from repro.obs.timeline import ThreadState
 from repro.sim.engine import Engine
 from repro.sim.process import Signal
 
@@ -61,7 +62,29 @@ class _QueueIoServer:
         self.busy_cycles = 0
         self.wasted_cycles = 0
         self.started_at = engine.now
+        # observability: hook the ambient obs session, if one is active
+        # (I/O servers run on bare Engines, outside any Machine)
+        self._obs_latency = None
+        self._obs_timeline = None
+        self._obs_track = 0
+        import repro.obs as obs
+        session = obs.active()
+        if session is not None:
+            slug = "_".join(name.split()).lower()
+            prefix = session.register_source(f"kernel.io.{slug}",
+                                             self._fill_metrics)
+            self._obs_latency = session.registry.histogram(
+                f"{prefix}.latency_cycles")
+            self._obs_timeline = session.timeline
+            self._obs_track = session.register_track(prefix)
         engine.spawn(self._serve(), name=f"{name}.server")
+
+    def _fill_metrics(self, registry, prefix: str) -> None:
+        registry.inc(f"{prefix}.completed", self.completed)
+        registry.inc(f"{prefix}.wakeups", self.wakeups)
+        registry.inc(f"{prefix}.busy_cycles", self.busy_cycles)
+        registry.inc(f"{prefix}.wasted_cycles", self.wasted_cycles)
+        registry.set(f"{prefix}.pending", self.pending())
 
     # ------------------------------------------------------------------
     def deliver(self, event_id: int, service_cycles: int) -> None:
@@ -92,11 +115,19 @@ class _QueueIoServer:
         raise NotImplementedError
 
     def _serve(self):
+        timeline = self._obs_timeline
         while True:
             while not self._queue:
                 self._idle = True
+                if timeline is not None:
+                    timeline.transition(self._obs_track, 0,
+                                        ThreadState.MWAIT,
+                                        self.engine.now)
                 yield self._arrival
             self._idle = False
+            if timeline is not None:
+                timeline.transition(self._obs_track, 0,
+                                    ThreadState.RUNNING, self.engine.now)
             cost = self._wake_cost_cycles()
             self.wakeups += 1
             if cost:
@@ -110,7 +141,10 @@ class _QueueIoServer:
                 yield service
                 self.busy_cycles += service
                 self.completed += 1
-                self.recorder.record(self.engine.now - landed)
+                latency = self.engine.now - landed
+                self.recorder.record(latency)
+                if self._obs_latency is not None:
+                    self._obs_latency.record(latency)
 
 
 class InterruptIoServer(_QueueIoServer):

@@ -28,6 +28,7 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.analysis.stats import LatencyRecorder
 from repro.errors import ConfigError
+from repro.obs.timeline import ThreadState
 from repro.sim.engine import Engine, ScheduledCall
 from repro.sim.process import Signal
 from repro.workloads.requests import Request
@@ -44,6 +45,35 @@ class QueueingServer(abc.ABC):
         self.completed = 0
         self.busy_cycles = 0
         self.overhead_cycles = 0
+        # observability: servers often run on a bare Engine with no
+        # Machine around them, so they hook into the ambient obs session
+        # (if one is active) instead; None keeps the hot path a single
+        # attribute check
+        self._obs_latency = None
+        self._obs_timeline = None
+        self._obs_track = 0
+        import repro.obs as obs
+        session = obs.active()
+        if session is not None:
+            slug = "_".join(self.name.split()).lower()
+            prefix = session.register_source(f"kernel.sched.{slug}",
+                                             self._fill_metrics)
+            self._obs_latency = session.registry.histogram(
+                f"{prefix}.latency_cycles")
+            self._obs_timeline = session.timeline
+            self._obs_track = session.register_track(prefix)
+
+    def _obs_transition(self, state) -> None:
+        """Record a busy/blocked span edge on the session timeline (the
+        serve loops call this only when instrumentation is on)."""
+        self._obs_timeline.transition(self._obs_track, 0, state,
+                                      self.engine.now)
+
+    def _fill_metrics(self, registry, prefix: str) -> None:
+        registry.inc(f"{prefix}.completed", self.completed)
+        registry.inc(f"{prefix}.busy_cycles", self.busy_cycles)
+        registry.inc(f"{prefix}.overhead_cycles", self.overhead_cycles)
+        registry.set(f"{prefix}.in_flight", self.in_flight())
 
     @abc.abstractmethod
     def offer(self, request: Request) -> None:
@@ -57,6 +87,8 @@ class QueueingServer(abc.ABC):
         request.finish_time = float(self.engine.now)
         self.completed += 1
         self.recorder.record(request.latency)
+        if self._obs_latency is not None:
+            self._obs_latency.record(request.latency)
         done = request.payload.get("done")
         if done is not None:
             done.fire(request)
@@ -88,9 +120,14 @@ class FifoServer(QueueingServer):
         return len(self._queue) + self._active
 
     def _serve(self):
+        timeline = self._obs_timeline
         while True:
             while not self._queue:
+                if timeline is not None:
+                    self._obs_transition(ThreadState.MWAIT)
                 yield self._arrival
+            if timeline is not None:
+                self._obs_transition(ThreadState.RUNNING)
             request = self._queue.popleft()
             self._active = 1
             request.start_time = float(self.engine.now)
@@ -134,9 +171,14 @@ class RoundRobinServer(QueueingServer):
         return len(self._queue) + self._active
 
     def _serve(self):
+        timeline = self._obs_timeline
         while True:
             while not self._queue:
+                if timeline is not None:
+                    self._obs_transition(ThreadState.MWAIT)
                 yield self._arrival
+            if timeline is not None:
+                self._obs_transition(ThreadState.RUNNING)
             request, remaining = self._queue.popleft()
             self._active = 1
             if request.start_time is None:

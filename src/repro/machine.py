@@ -50,6 +50,11 @@ class MachineConfig:
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0xC0FFEE
     trace: bool = False
+    #: full observability (metrics registry, per-ptid timelines, cycle
+    #: profiler). Also implied for machines built inside an active
+    #: repro.obs session. Off: zero cost (the cores run an entirely
+    #: uninstrumented issue loop).
+    instrument: bool = False
     #: busy-cycle fast-forward (see HWCore._fast_forward); results are
     #: identical either way, only wall-clock differs. The
     #: REPRO_NO_FASTFORWARD env var overrides this to False.
@@ -92,6 +97,22 @@ class Machine:
                          tracer=self.tracer,
                          fast_forward=config.fast_forward)
         self.dma = DmaEngine(self.engine, self.memory)
+        # observability: instrument when asked to, or when built inside
+        # an active obs session (how the CLI instruments experiments).
+        # Attaching here -- before the engine ever runs -- is what lets
+        # each core's issue loop pick its instrumented body on first
+        # dispatch.
+        import repro.obs as obs
+        session = obs.active()
+        self.obs: Optional[obs.MachineObs] = None
+        if config.instrument or session is not None:
+            registry = session.registry if session is not None \
+                else obs.MetricsRegistry()
+            self.obs = obs.MachineObs(registry)
+            for core in self.chip.cores:
+                core.attach_obs(self.obs)
+            if session is not None:
+                session.register_machine(self)
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -185,6 +206,10 @@ class Machine:
                 "exceptions": sum(t.exceptions_raised for t in threads),
                 "storage": core.storage.occupancy(),
             })
+        metrics = None
+        if self.obs is not None:
+            from repro.obs.snapshot import machine_snapshot
+            metrics = machine_snapshot(self)
         return {
             "time": self.engine.now,
             "events": self.engine.events_processed,
@@ -198,6 +223,7 @@ class Machine:
                 "triggers": self.memory.watch_bus.total_triggers,
             },
             "migrations": self.chip.migrations,
+            "metrics": metrics,
         }
 
     def report(self) -> str:
@@ -215,7 +241,16 @@ class Machine:
                           core["issue_rounds"], core["idle_cycles"],
                           core["wakeups"], core["starts"], core["stops"],
                           core["exceptions"])
-        return table.render()
+        rendered = table.render()
+        if snapshot["metrics"] is not None:
+            from repro.obs.profile import BUCKETS
+            profile_table = Table(["core"] + list(BUCKETS) + ["total"],
+                                  title="cycle attribution")
+            for name, buckets in snapshot["metrics"]["profile"].items():
+                profile_table.add_row(
+                    name, *[buckets[b] for b in BUCKETS], buckets["total"])
+            rendered += "\n" + profile_table.render()
+        return rendered
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Machine cores={self.config.cores}"

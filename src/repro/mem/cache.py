@@ -160,6 +160,12 @@ class CacheHierarchy:
         if costs is None:
             from repro.arch.costs import CostModel
             costs = CostModel()
+        # observability: harvested at snapshot time only; the access hot
+        # loops are untouched
+        import repro.obs as obs
+        session = obs.active()
+        if session is not None:
+            session.register_source("mem.cache", self.fill_metrics)
         self.l3 = Cache("L3", l3_kib * 1024, ways=16, line_bytes=line_bytes,
                         hit_cycles=costs.l3_hit_cycles, parent=None,
                         miss_cycles=costs.dram_cycles)
@@ -198,6 +204,17 @@ class CacheHierarchy:
             }
             for cache in (self.l1, self.l2, self.l3)
         }
+
+    def fill_metrics(self, registry, prefix: str) -> None:
+        """Snapshot-time metric harvest (see repro.obs.snapshot)."""
+        for cache in (self.l1, self.l2, self.l3):
+            level = cache.name.lower()
+            registry.inc(f"{prefix}.{level}.hits", cache.hits)
+            registry.inc(f"{prefix}.{level}.misses", cache.misses)
+            registry.inc(f"{prefix}.{level}.evictions", cache.evictions)
+            registry.inc(f"{prefix}.{level}.bypasses", cache.bypasses)
+            registry.set(f"{prefix}.{level}.hit_rate",
+                         round(cache.hit_rate, 6))
 
     def walk_working_set(self, base: int, nbytes: int, stride: int = 64) -> int:
         """Touch a working set sequentially; returns total cycles.

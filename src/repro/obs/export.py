@@ -1,0 +1,153 @@
+"""Perfetto / Chrome trace-event JSON export.
+
+Produces the `Trace Event Format`_ JSON-object form: a top-level
+``traceEvents`` list that both ``chrome://tracing`` and
+``ui.perfetto.dev`` open directly.  The mapping is:
+
+- every simulated **core** becomes a *process* (``pid``), named via a
+  ``process_name`` metadata event;
+- every **ptid** becomes a *thread* (``tid``) of that process;
+- each closed timeline :class:`~repro.obs.timeline.Span` becomes a
+  complete event (``ph: "X"``) whose name is the thread state;
+- timeline instants (promote / demote / wakeup markers) become instant
+  events (``ph: "i"``, thread scope).
+
+Timestamps are microseconds (the format's unit), converted from
+simulated cycles at the machine's configured frequency; the original
+cycle stamps ride along in ``args`` so nothing is lost to rounding.
+
+When several machines contribute to one trace (an experiment sweep
+builds one machine per cell), each machine's cores get a disjoint pid
+block of :data:`PID_STRIDE` so Perfetto shows them as separate
+process groups.
+
+.. _Trace Event Format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.timeline import Timeline
+
+#: pid block reserved per machine in a multi-machine trace.
+PID_STRIDE = 1000
+
+
+def _cycles_to_us(cycles: int, freq_ghz: float) -> float:
+    return cycles / (freq_ghz * 1000.0)
+
+
+def timeline_events(timeline: Timeline, freq_ghz: float,
+                    pid_base: int = 0,
+                    label: str = "") -> List[Dict[str, Any]]:
+    """The trace events for one timeline (metadata + spans + instants)."""
+    events: List[Dict[str, Any]] = []
+    cores = sorted({s.core_id for s in timeline.spans}
+                   | {i.core_id for i in timeline.instants})
+    tracks = sorted({(s.core_id, s.ptid) for s in timeline.spans}
+                    | {(i.core_id, i.ptid) for i in timeline.instants})
+    prefix = f"{label} " if label else ""
+    for core_id in cores:
+        core_name = timeline.core_names.get(core_id, f"core{core_id}")
+        events.append({"name": "process_name", "ph": "M",
+                       "pid": pid_base + core_id, "tid": 0,
+                       "args": {"name": f"{prefix}{core_name}"}})
+    for core_id, ptid in tracks:
+        track_name = timeline.track_names.get((core_id, ptid),
+                                              f"ptid{ptid}")
+        events.append({"name": "thread_name", "ph": "M",
+                       "pid": pid_base + core_id, "tid": ptid,
+                       "args": {"name": track_name}})
+    for span in timeline.spans:
+        events.append({
+            "name": span.state.value,
+            "cat": "ptid-state",
+            "ph": "X",
+            "pid": pid_base + span.core_id,
+            "tid": span.ptid,
+            "ts": _cycles_to_us(span.begin, freq_ghz),
+            "dur": _cycles_to_us(span.duration, freq_ghz),
+            "args": {"begin_cycle": span.begin, "end_cycle": span.end},
+        })
+    for instant in timeline.instants:
+        events.append({
+            "name": instant.name,
+            "cat": "ptid-event",
+            "ph": "i",
+            "s": "t",
+            "pid": pid_base + instant.core_id,
+            "tid": instant.ptid,
+            "ts": _cycles_to_us(instant.at, freq_ghz),
+            "args": {"cycle": instant.at},
+        })
+    return events
+
+
+def chrome_trace(timelines: Sequence[Tuple[str, Timeline, float]],
+                 metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble the JSON-object-format trace for ``(label, timeline,
+    freq_ghz)`` triples, one pid block per triple."""
+    events: List[Dict[str, Any]] = []
+    for index, (label, timeline, freq_ghz) in enumerate(timelines):
+        events.extend(timeline_events(timeline, freq_ghz,
+                                      pid_base=index * PID_STRIDE,
+                                      label=label))
+    trace: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["otherData"] = metadata
+    return trace
+
+
+def machine_trace(machine) -> Dict[str, Any]:
+    """The Chrome trace for one instrumented :class:`~repro.machine.Machine`
+    (closes still-open spans at the machine's current time first)."""
+    from repro.errors import ConfigError
+    if machine.obs is None:
+        raise ConfigError("machine is not instrumented; "
+                          "build it with instrument=True")
+    machine.obs.timeline.finish(machine.engine.now)
+    return chrome_trace(
+        [("", machine.obs.timeline, machine.config.freq_ghz)],
+        metadata={"source": "repro", "engine_now": machine.engine.now})
+
+
+def write_trace(path: str, trace: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> None:
+    """Schema check: raise ``ValueError`` unless ``trace`` is loadable
+    Chrome trace-event JSON (used by the tests and the CI artifact)."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError(f"event {event!r} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event missing {key!r}: {event!r}")
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        if "ts" not in event:
+            raise ValueError(f"non-metadata event missing 'ts': {event!r}")
+        if event["ts"] < 0:
+            raise ValueError(f"negative timestamp: {event!r}")
+        if phase == "X":
+            if "dur" not in event or event["dur"] < 0:
+                raise ValueError(f"complete event needs 'dur' >= 0: {event!r}")
+        elif phase == "i":
+            if event.get("s") not in ("g", "p", "t"):
+                raise ValueError(f"instant event needs scope 's': {event!r}")
+        else:
+            raise ValueError(f"unexpected phase {phase!r}")

@@ -1,0 +1,144 @@
+"""Span-based per-ptid timelines.
+
+A :class:`Timeline` records what every hardware thread (ptid) on every
+core was doing at each simulated cycle as a sequence of half-open
+*spans* ``[begin, end)`` tagged with a :class:`ThreadState`.  Cores map
+onto tracks (Perfetto processes) and ptids onto sub-tracks (threads);
+``repro.obs.export`` turns the result into Chrome trace-event JSON.
+
+The emitting sites are the existing state chokepoints —
+``HardwareThread.make_runnable/make_waiting/make_disabled`` in
+``hw/ptid.py`` and the tier moves in ``hw/storage.py`` — so the
+timeline cannot drift from the simulation's own notion of state.
+Spans still open when the run ends are closed by
+:meth:`Timeline.finish` at the final clock value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class ThreadState(enum.Enum):
+    """What a ptid is doing during a span (the paper's state machine)."""
+
+    RUNNING = "running"          # RUNNABLE: competing for issue slots
+    MWAIT = "mwait-blocked"      # WAITING: parked on a monitor address
+    STOPPED = "stopped"          # DISABLED: stopped / not yet started
+    SPILLED = "spilled-to-l2"    # state demoted out of the register file
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed ``[begin, end)`` interval of a ptid in one state."""
+
+    core_id: int
+    ptid: int
+    state: ThreadState
+    begin: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.begin
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker (promotion, demotion, wakeup...)."""
+
+    core_id: int
+    ptid: int
+    name: str
+    at: int
+
+
+#: Cap on retained spans+instants; mirrors Tracer.limit so a pathological
+#: run degrades to counting instead of exhausting memory.
+DEFAULT_SPAN_LIMIT = 1_000_000
+
+
+class Timeline:
+    """Collects spans and instants for every (core, ptid) pair."""
+
+    def __init__(self, limit: int = DEFAULT_SPAN_LIMIT):
+        self.limit = limit
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.dropped = 0
+        # (core_id, ptid) -> (state, begin) for the currently open span
+        self._open: Dict[Tuple[int, int], Tuple[ThreadState, int]] = {}
+        self.finished_at: Optional[int] = None
+        # optional display names; export falls back to core{N}/ptid{N}
+        self.core_names: Dict[int, str] = {}
+        self.track_names: Dict[Tuple[int, int], str] = {}
+
+    def name_core(self, core_id: int, name: str) -> None:
+        self.core_names[core_id] = name
+
+    def name_track(self, core_id: int, ptid: int, name: str) -> None:
+        self.track_names[(core_id, ptid)] = name
+
+    # ------------------------------------------------------------------
+    def transition(self, core_id: int, ptid: int, state: ThreadState,
+                   now: int) -> None:
+        """Close the ptid's open span (if any) at ``now`` and open a new
+        one in ``state``.  Same-state transitions are coalesced."""
+        key = (core_id, ptid)
+        open_span = self._open.get(key)
+        if open_span is not None:
+            old_state, begin = open_span
+            if old_state is state:
+                return
+            self._store(Span(core_id, ptid, old_state, begin, now))
+        self._open[key] = (state, now)
+
+    def instant(self, core_id: int, ptid: int, name: str, now: int) -> None:
+        if len(self.instants) + len(self.spans) >= self.limit:
+            self.dropped += 1
+            return
+        self.instants.append(Instant(core_id, ptid, name, now))
+
+    def finish(self, now: int) -> None:
+        """Close every still-open span at ``now`` (idempotent)."""
+        for (core_id, ptid), (state, begin) in sorted(self._open.items()):
+            self._store(Span(core_id, ptid, state, begin, now))
+        self._open.clear()
+        self.finished_at = now
+
+    # ------------------------------------------------------------------
+    def _store(self, span: Span) -> None:
+        if span.end <= span.begin:
+            return  # zero-length: state changed twice in one cycle
+        if len(self.spans) + len(self.instants) >= self.limit:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    def open_spans(self) -> List[Tuple[int, int, ThreadState, int]]:
+        """The still-open spans as (core_id, ptid, state, begin)."""
+        return [(core_id, ptid, state, begin)
+                for (core_id, ptid), (state, begin)
+                in sorted(self._open.items())]
+
+    def spans_for(self, core_id: int, ptid: int) -> List[Span]:
+        return [s for s in self.spans
+                if s.core_id == core_id and s.ptid == ptid]
+
+    def state_totals(self) -> Dict[str, int]:
+        """Total cycles per state across all closed spans."""
+        totals: Dict[str, int] = {}
+        for span in self.spans:
+            key = span.state.value
+            totals[key] = totals.get(key, 0) + span.duration
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Timeline spans={len(self.spans)}"
+                f" instants={len(self.instants)} open={len(self._open)}>")

@@ -47,7 +47,13 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def emit(self, category: str, message: str, **payload: Any) -> None:
-        """Record a trace event if tracing is enabled for ``category``."""
+        """Record a trace event if tracing is enabled for ``category``.
+
+        Once ``limit`` events are retained, every further emit that
+        *would* have been recorded (enabled, category selected) bumps
+        ``dropped`` instead, so ``len(events) + dropped`` is always the
+        true emit count for the selected categories.
+        """
         if not self.enabled:
             return
         if self.categories is not None and category not in self.categories:
@@ -61,6 +67,23 @@ class Tracer:
     def count(self, counter: str, amount: int = 1) -> None:
         """Bump an aggregate counter (always on)."""
         self.counters[counter] += amount
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer in (a parallel worker's, typically).
+
+        Counters add; events append up to this tracer's ``limit``, with
+        overflow -- and the other tracer's own overflow -- counted into
+        ``dropped`` so nothing vanishes silently across workers.
+        """
+        self.counters.update(other.counters)
+        self.dropped += other.dropped
+        space = self.limit - len(self.events)
+        if space >= len(other.events):
+            self.events.extend(other.events)
+        else:
+            kept = max(space, 0)
+            self.events.extend(other.events[:kept])
+            self.dropped += len(other.events) - kept
 
     # ------------------------------------------------------------------
     def filter(self, category: str) -> List[TraceEvent]:

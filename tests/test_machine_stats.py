@@ -23,8 +23,9 @@ class TestStats:
         machine = run_small_machine()
         stats = machine.stats()
         assert set(stats) == {"time", "events", "cores", "memory",
-                              "watch_bus", "migrations"}
+                              "watch_bus", "migrations", "metrics"}
         assert len(stats["cores"]) == 1
+        assert stats["metrics"] is None  # not instrumented
 
     def test_counts_reflect_activity(self):
         machine = run_small_machine()

@@ -1,0 +1,151 @@
+"""Tests for the Perfetto/Chrome trace exporter and metrics snapshots."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ConfigError
+from repro.machine import build_machine
+from repro.obs.export import (
+    PID_STRIDE,
+    chrome_trace,
+    machine_trace,
+    timeline_events,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.snapshot import machine_snapshot, write_snapshot
+from repro.obs.timeline import ThreadState, Timeline
+
+
+def small_timeline():
+    timeline = Timeline()
+    timeline.transition(0, 0, ThreadState.RUNNING, 0)
+    timeline.transition(0, 0, ThreadState.MWAIT, 100)
+    timeline.instant(1, 2, "promote-rf", 50)
+    timeline.finish(300)
+    return timeline
+
+
+class TestTimelineEvents:
+    def test_span_becomes_complete_event(self):
+        events = timeline_events(small_timeline(), freq_ghz=1.0)
+        spans = [e for e in events if e["ph"] == "X"]
+        running = next(e for e in spans if e["name"] == "running")
+        # 1 GHz: 1000 cycles per microsecond
+        assert running["ts"] == 0.0
+        assert running["dur"] == 0.1
+        assert running["args"] == {"begin_cycle": 0, "end_cycle": 100}
+
+    def test_metadata_names_cores_and_ptids(self):
+        events = timeline_events(small_timeline(), freq_ghz=1.0,
+                                 pid_base=2000, label="m2")
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["pid"], e["tid"], e["args"]["name"]) for e in meta}
+        assert (2000, 0, "m2 core0") in names
+        assert (2001, 2, "ptid2") in names
+
+    def test_instant_has_thread_scope(self):
+        events = timeline_events(small_timeline(), freq_ghz=1.0)
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "t"
+        assert instant["name"] == "promote-rf"
+
+    def test_multi_machine_pid_blocks_disjoint(self):
+        trace = chrome_trace([("m0", small_timeline(), 1.0),
+                              ("m1", small_timeline(), 1.0)])
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {0, 1, PID_STRIDE, PID_STRIDE + 1}
+
+
+class TestValidator:
+    def test_accepts_good_trace(self):
+        validate_chrome_trace(chrome_trace([("", small_timeline(), 3.0)]))
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_ts(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0, "dur": 1}]})
+
+    def test_rejects_bad_instant_scope(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "i", "pid": 0, "tid": 0, "ts": 1,
+                 "s": "bogus"}]})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "B", "pid": 0, "tid": 0, "ts": 1}]})
+
+
+class TestMachineTrace:
+    def test_uninstrumented_machine_rejected(self):
+        with pytest.raises(ConfigError):
+            machine_trace(build_machine())
+
+    def test_instrumented_machine_round_trips(self, tmp_path):
+        machine = build_machine(instrument=True)
+        flag = machine.alloc("flag", 64)
+        machine.load_asm(0, """
+            movi r1, FLAG
+            monitor r1
+            mwait
+            halt
+        """, symbols={"FLAG": flag.base}, supervisor=True)
+        machine.boot(0)
+        machine.engine.at(500, machine.memory.store, flag.base, 1, "dev")
+        machine.run(until=10_000)
+        trace = machine_trace(machine)
+        validate_chrome_trace(trace)
+        path = tmp_path / "trace.json"
+        write_trace(str(path), trace)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_machine_snapshot_is_json_and_idempotent(self, tmp_path):
+        machine = build_machine(instrument=True)
+        machine.run(until=1_000)
+        first = machine_snapshot(machine)
+        second = machine_snapshot(machine)
+        assert first == second  # harvest must not double-count
+        assert first["metrics"]["counters"]["engine.cycles"] == 1_000
+        path = tmp_path / "metrics.json"
+        write_snapshot(str(path), first)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(first))
+
+
+class TestE03EndToEnd:
+    """Acceptance criterion: a full-instrumentation E03 run exports
+    valid Chrome trace-event JSON."""
+
+    def test_e03_trace_schema_valid(self, tmp_path):
+        from repro.experiments import get_experiment
+
+        with obs.session("E03") as sess:
+            get_experiment("E03").run(quick=True)
+        trace = sess.chrome_trace()
+        validate_chrome_trace(trace)
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert {e["name"] for e in events if e["ph"] == "X"} <= {
+            s.value for s in ThreadState}
+        path = tmp_path / "e03.json"
+        write_trace(str(path), trace)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_e03_session_snapshot_has_namespaced_metrics(self):
+        from repro.experiments import get_experiment
+
+        with obs.session("E03") as sess:
+            get_experiment("E03").run(quick=True)
+        snapshot = sess.snapshot()
+        counters = snapshot["metrics"]["counters"]
+        assert any(name.startswith("engine.") for name in counters)
+        assert any(name.startswith("core0.issue.") for name in counters)
+        json.dumps(snapshot)  # JSON-ready throughout

@@ -1,0 +1,197 @@
+"""Tests for the typed metrics registry (counters/gauges/histograms)."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import percentile as brute_percentile
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    HISTOGRAM_SUBBUCKET_BITS,
+    Histogram,
+    MetricsRegistry,
+    _bucket_bounds,
+    _bucket_index,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b", 3)
+        reg.inc("a.b")
+        assert reg.counter("a.b").value == 4
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set("g", 1)
+        reg.set("g", 7.5)
+        assert reg.gauge("g").value == 7.5
+
+    def test_name_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+        with pytest.raises(ConfigError):
+            reg.histogram("x")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("")
+        with pytest.raises(ConfigError):
+            reg.counter("has space")
+
+    def test_clear_empties_registry(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set("b", 1)
+        reg.observe("c", 5)
+        assert len(reg) == 3
+        reg.clear()
+        assert len(reg) == 0
+        assert list(reg.names()) == []
+
+    def test_merge_counters_add_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        b.inc("n", 5)
+        b.inc("only_b", 1)
+        a.set("g", 1)
+        b.set("g", 9)
+        a.merge(b)
+        assert a.counter("n").value == 7
+        assert a.counter("only_b").value == 1
+        assert a.gauge("g").value == 9
+
+
+class TestHistogramBuckets:
+    def test_small_values_exact(self):
+        for value in range(16):
+            low, high = _bucket_bounds(_bucket_index(value))
+            assert low == high == value
+
+    def test_bounds_cover_value(self):
+        for value in [16, 17, 100, 1023, 1024, 123456, 10**9]:
+            low, high = _bucket_bounds(_bucket_index(value))
+            assert low <= value <= high
+
+    def test_bucket_relative_error_bounded(self):
+        max_rel = 2 ** -HISTOGRAM_SUBBUCKET_BITS
+        for value in [20, 33, 999, 4097, 10**6 + 7]:
+            low, high = _bucket_bounds(_bucket_index(value))
+            assert (high - low) <= max(1, int(low * max_rel))
+
+    def test_indices_are_contiguous_and_monotonic(self):
+        previous = -1
+        for value in range(0, 5000):
+            index = _bucket_index(value)
+            assert index in (previous, previous + 1)
+            previous = index
+
+
+class TestHistogramStats:
+    def test_empty_raises(self):
+        hist = Histogram("h")
+        with pytest.raises(ConfigError):
+            hist.percentile(50)
+        with pytest.raises(ConfigError):
+            _ = hist.mean
+        assert hist.snapshot() == {"count": 0}
+
+    def test_bad_percentile_rejected(self):
+        hist = Histogram("h")
+        hist.record(1)
+        with pytest.raises(ConfigError):
+            hist.percentile(101)
+
+    def test_min_max_mean_exact(self):
+        hist = Histogram("h")
+        for value in [5, 100, 17, 3, 250]:
+            hist.record(value)
+        assert hist.minimum == 3
+        assert hist.maximum == 250
+        assert hist.mean == (5 + 100 + 17 + 3 + 250) / 5
+
+    def test_negative_clamped_floats_truncated(self):
+        hist = Histogram("h")
+        hist.record(-5)
+        hist.record(3.9)
+        assert hist.minimum == 0
+        assert hist.maximum == 3
+
+    def test_percentiles_match_brute_force_within_bucket_error(self):
+        rng = random.Random(7)
+        samples = [rng.randrange(0, 200_000) for _ in range(5000)]
+        samples += [rng.randrange(0, 15) for _ in range(500)]
+        hist = Histogram("h")
+        for sample in samples:
+            hist.record(sample)
+        max_rel = 2 ** -HISTOGRAM_SUBBUCKET_BITS
+        for pct in (1, 10, 25, 50, 75, 90, 99, 99.9):
+            exact = brute_percentile(samples, pct)
+            approx = hist.percentile(pct)
+            # one sub-bucket of log-linear error plus the interpolation
+            # difference between nearest-rank and linear interpolation
+            tolerance = max(2.0, exact * 2 * max_rel)
+            assert abs(approx - exact) <= tolerance, (pct, exact, approx)
+
+    def test_extreme_percentiles_are_exact(self):
+        hist = Histogram("h")
+        for value in [9, 1_000_000, 77]:
+            hist.record(value)
+        assert hist.percentile(0) == 9
+        assert hist.percentile(100) == 1_000_000
+
+    def test_merge_equals_recording_everything(self):
+        rng = random.Random(11)
+        first = [rng.randrange(0, 10_000) for _ in range(300)]
+        second = [rng.randrange(0, 10_000) for _ in range(400)]
+        merged, reference = Histogram("m"), Histogram("r")
+        other = Histogram("o")
+        for value in first:
+            merged.record(value)
+            reference.record(value)
+        for value in second:
+            other.record(value)
+            reference.record(value)
+        merged.merge(other)
+        assert merged.snapshot() == reference.snapshot()
+
+    def test_merge_empty_is_noop(self):
+        hist = Histogram("h")
+        hist.record(5)
+        before = hist.snapshot()
+        hist.merge(Histogram("empty"))
+        assert hist.snapshot() == before
+
+    def test_snapshot_shape(self):
+        hist = Histogram("h")
+        hist.record(10, count=3)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 30
+        assert set(snap) == {"count", "sum", "mean", "min", "p50",
+                             "p90", "p99", "max"}
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+        reg = MetricsRegistry()
+        reg.inc("z.last")
+        reg.inc("a.first")
+        reg.set("m.gauge", 2.5)
+        reg.observe("h.hist", 12)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        json.dumps(snap)  # must not raise
+
+    def test_histogram_merge_via_registry(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 10)
+        b.observe("lat", 30)
+        a.merge(b)
+        assert a.histogram("lat").count == 2
+        assert a.histogram("lat").total == 40

@@ -1,0 +1,120 @@
+"""Tests for span-based per-ptid timelines."""
+
+from repro.machine import build_machine
+from repro.obs.timeline import Instant, Span, ThreadState, Timeline
+
+
+class TestSpans:
+    def test_transition_closes_previous_span(self):
+        timeline = Timeline()
+        timeline.transition(0, 0, ThreadState.RUNNING, 10)
+        timeline.transition(0, 0, ThreadState.MWAIT, 50)
+        assert timeline.spans == [
+            Span(0, 0, ThreadState.RUNNING, 10, 50)]
+        assert timeline.open_spans() == [(0, 0, ThreadState.MWAIT, 50)]
+
+    def test_same_state_transitions_coalesce(self):
+        timeline = Timeline()
+        timeline.transition(0, 3, ThreadState.RUNNING, 0)
+        timeline.transition(0, 3, ThreadState.RUNNING, 40)
+        timeline.transition(0, 3, ThreadState.STOPPED, 100)
+        assert timeline.spans == [
+            Span(0, 3, ThreadState.RUNNING, 0, 100)]
+
+    def test_zero_length_spans_are_skipped(self):
+        timeline = Timeline()
+        timeline.transition(0, 0, ThreadState.RUNNING, 5)
+        timeline.transition(0, 0, ThreadState.MWAIT, 5)  # same cycle
+        timeline.transition(0, 0, ThreadState.RUNNING, 9)
+        assert [s.state for s in timeline.spans] == [ThreadState.MWAIT]
+
+    def test_ptids_and_cores_tracked_independently(self):
+        timeline = Timeline()
+        timeline.transition(0, 0, ThreadState.RUNNING, 0)
+        timeline.transition(1, 0, ThreadState.MWAIT, 0)
+        timeline.transition(0, 1, ThreadState.STOPPED, 0)
+        timeline.transition(0, 0, ThreadState.MWAIT, 10)
+        assert len(timeline.spans) == 1
+        assert timeline.spans_for(0, 0)[0].duration == 10
+        assert len(timeline.open_spans()) == 3
+
+    def test_finish_closes_open_spans_at_run_end(self):
+        timeline = Timeline()
+        timeline.transition(0, 0, ThreadState.RUNNING, 0)
+        timeline.transition(0, 1, ThreadState.MWAIT, 25)
+        timeline.finish(100)
+        assert timeline.open_spans() == []
+        assert timeline.finished_at == 100
+        ends = {(s.ptid, s.end) for s in timeline.spans}
+        assert ends == {(0, 100), (1, 100)}
+
+    def test_finish_is_idempotent(self):
+        timeline = Timeline()
+        timeline.transition(0, 0, ThreadState.RUNNING, 0)
+        timeline.finish(50)
+        timeline.finish(60)
+        assert len(timeline.spans) == 1
+
+    def test_state_totals(self):
+        timeline = Timeline()
+        timeline.transition(0, 0, ThreadState.RUNNING, 0)
+        timeline.transition(0, 0, ThreadState.MWAIT, 30)
+        timeline.transition(0, 0, ThreadState.RUNNING, 70)
+        timeline.finish(100)
+        assert timeline.state_totals() == {
+            "running": 60, "mwait-blocked": 40}
+
+
+class TestInstantsAndLimit:
+    def test_instants_recorded(self):
+        timeline = Timeline()
+        timeline.instant(0, 2, "promote-rf", 42)
+        assert timeline.instants == [Instant(0, 2, "promote-rf", 42)]
+
+    def test_limit_degrades_to_drop_counting(self):
+        timeline = Timeline(limit=2)
+        timeline.transition(0, 0, ThreadState.RUNNING, 0)
+        timeline.transition(0, 0, ThreadState.MWAIT, 10)
+        timeline.instant(0, 0, "a", 11)
+        timeline.instant(0, 0, "b", 12)  # over the limit
+        timeline.transition(0, 0, ThreadState.RUNNING, 20)  # over too
+        assert len(timeline.spans) + len(timeline.instants) == 2
+        assert timeline.dropped == 2
+
+
+class TestMachineIntegration:
+    def run_instrumented_machine(self):
+        machine = build_machine(instrument=True)
+        flag = machine.alloc("flag", 64)
+        machine.load_asm(0, """
+            movi r1, FLAG
+            monitor r1
+            mwait
+            halt
+        """, symbols={"FLAG": flag.base}, supervisor=True)
+        machine.boot(0)
+        machine.engine.at(500, machine.memory.store, flag.base, 1, "dev")
+        machine.run(until=10_000)
+        return machine
+
+    def test_mwait_window_appears_as_blocked_span(self):
+        machine = self.run_instrumented_machine()
+        timeline = machine.obs.timeline
+        timeline.finish(machine.engine.now)
+        states = [s.state for s in timeline.spans_for(0, 0)]
+        assert ThreadState.MWAIT in states
+        blocked = next(s for s in timeline.spans_for(0, 0)
+                       if s.state is ThreadState.MWAIT)
+        # parked before the cycle-500 store, woken by it
+        assert blocked.begin < 500 <= blocked.end
+
+    def test_run_ends_with_stopped_span(self):
+        machine = self.run_instrumented_machine()
+        timeline = machine.obs.timeline
+        timeline.finish(machine.engine.now)
+        assert timeline.spans_for(0, 0)[-1].state is ThreadState.STOPPED
+
+    def test_uninstrumented_machine_has_no_timeline(self):
+        machine = build_machine()
+        assert machine.obs is None
+        assert machine.chip.cores[0].timeline is None
