@@ -1,0 +1,34 @@
+"""E14 bench: the cluster experiment + cluster-run micro-benchmarks."""
+
+from repro.cluster import ClusterConfig, DESIGNS, run_cluster
+
+
+def test_e14_cluster(run_experiment):
+    result = run_experiment("E14", rounds=1)
+    tail = result.series("tail")
+    counts = result.series("node_counts")
+    ratios = [tail[n]["ratio"] for n in counts]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+    assert all(tail[n]["conserved"] for n in counts)
+
+
+def _run(design, nodes=8, fanout=4):
+    config = ClusterConfig(nodes=nodes, design=DESIGNS[design],
+                           policy="random", fanout=fanout, load=0.1,
+                           mean_service_cycles=5_000, segments=4,
+                           rtt_cycles=20_000, requests=200)
+    return run_cluster(config, seed=7)
+
+
+def test_bench_hw_cluster(benchmark):
+    result = benchmark(_run, "hw-threads")
+    assert result.summary["completed"] == 200
+    assert result.summary["conserved"]
+
+
+def test_bench_sw_cluster(benchmark):
+    result = benchmark(_run, "sw-threads")
+    assert result.summary["completed"] == 200
+    # the fan-in crowding tax: sw pays more for the same workload
+    assert (result.summary["p99"]
+            > _run("hw-threads").summary["p99"])

@@ -6,8 +6,11 @@ Subcommands:
 - ``run E03 [--quick] [--trace out.json] [--metrics out.json]`` -- one
   experiment, optionally with a Perfetto trace and a metrics snapshot;
 - ``evaluate [--quick] [--markdown] [--metrics DIR]`` -- the full
-  E01-E13 evaluation, optionally writing one metrics snapshot per
+  E01-E14 evaluation, optionally writing one metrics snapshot per
   experiment;
+- ``cluster [--nodes N] [--design D] [--policy P] [--fanout F]`` -- one
+  multi-machine cluster run (see :mod:`repro.cluster`) with its summary
+  table, optionally traced/snapshotted like ``run``;
 - ``profile E03`` -- the cycle-attribution profile of one experiment;
 - ``sensitivity`` -- the cost-model break-even analysis.
 """
@@ -59,6 +62,38 @@ def _build_parser() -> argparse.ArgumentParser:
                           dest="metrics_dir",
                           help="write one metrics-snapshot JSON per "
                                "experiment into DIR")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="simulate a multi-machine cluster (load balancing, "
+             "fan-out, hedged requests)")
+    cluster.add_argument("--nodes", type=int, default=8)
+    cluster.add_argument("--design", default="hw-threads",
+                         help="hw-threads | sw-threads | event-loop, "
+                              "or 'all' to compare the three")
+    cluster.add_argument("--policy", default="round-robin",
+                         help="random | round-robin | jsq | p2c")
+    cluster.add_argument("--fanout", type=int, default=1,
+                         help="shards per request (response = slowest)")
+    cluster.add_argument("--load", type=float, default=0.6,
+                         help="offered load per node of the base service")
+    cluster.add_argument("--requests", type=int, default=500)
+    cluster.add_argument("--queue-limit", type=int, default=None,
+                         help="per-node admission limit (default: none)")
+    cluster.add_argument("--hedge-after", type=int, default=None,
+                         metavar="CYCLES",
+                         help="send a hedged shard after this many cycles")
+    cluster.add_argument("--drop-prob", type=float, default=0.0,
+                         help="per-message link drop probability")
+    cluster.add_argument("--seed", type=lambda v: int(v, 0),
+                         default=0xC0FFEE)
+    cluster.add_argument("--json", action="store_true", dest="as_json")
+    cluster.add_argument("--trace", metavar="FILE", default=None,
+                         dest="trace_path",
+                         help="export a Perfetto/Chrome trace-event JSON")
+    cluster.add_argument("--metrics", metavar="FILE", default=None,
+                         dest="metrics_path",
+                         help="write the run's metrics snapshot as JSON")
 
     profile = sub.add_parser("profile",
                              help="cycle-attribution profile of one "
@@ -212,6 +247,73 @@ def _cmd_evaluate(quick: bool, markdown: bool, parallel: int = 1,
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    import json
+
+    from repro.analysis.tables import Table
+    from repro.cluster import DESIGNS, ClusterConfig, LinkSpec, run_cluster
+    from repro.errors import ReproError
+
+    names = (list(DESIGNS) if args.design == "all"
+             else [args.design])
+    summaries = {}
+    try:
+        for name in names:
+            if name not in DESIGNS:
+                raise ReproError(
+                    f"unknown design {name!r}; pick from "
+                    f"{', '.join(DESIGNS)} or 'all'")
+            config = ClusterConfig(
+                nodes=args.nodes, design=DESIGNS[name],
+                policy=args.policy, fanout=args.fanout, load=args.load,
+                requests=args.requests, queue_limit=args.queue_limit,
+                hedge_after=args.hedge_after,
+                link=LinkSpec(drop_prob=args.drop_prob))
+            if args.trace_path or args.metrics_path:
+                import repro.obs as obs
+
+                with obs.session(f"cluster.{name}") as sess:
+                    result = run_cluster(config, seed=args.seed)
+                if args.trace_path:
+                    from repro.obs.export import write_trace
+                    write_trace(args.trace_path, sess.chrome_trace())
+                    print(f"trace written to {args.trace_path} "
+                          f"(open in ui.perfetto.dev)", file=sys.stderr)
+                if args.metrics_path:
+                    from repro.obs.snapshot import write_snapshot
+                    write_snapshot(args.metrics_path, sess.snapshot())
+                    print(f"metrics snapshot written to "
+                          f"{args.metrics_path}", file=sys.stderr)
+            else:
+                result = run_cluster(config, seed=args.seed)
+            summaries[name] = result.summary
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(summaries, indent=1, sort_keys=True))
+    else:
+        columns = ["design", "completed", "dropped", "rejected", "hedges",
+                   "p50", "p99", "goodput/Mcyc", "conserved"]
+        table = Table(columns,
+                      title=f"{args.nodes} nodes, {args.policy}, fanout "
+                            f"{args.fanout}, load {args.load}")
+        def quantile(value: float):
+            # completed == 0 leaves the quantiles at +inf
+            return round(value) if value != float("inf") else "inf"
+
+        for name, summary in summaries.items():
+            table.add_row(name, summary["completed"], summary["dropped"],
+                          summary["rejected"], summary["hedges"],
+                          quantile(summary["p50"]),
+                          quantile(summary["p99"]),
+                          round(summary["goodput_per_mcycle"], 3),
+                          summary["conserved"])
+        print(table.render())
+    ok = all(summary["conserved"] for summary in summaries.values())
+    return 0 if ok else 1
+
+
 def _cmd_sensitivity() -> int:
     from repro.experiments.sensitivity import sensitivity_table
 
@@ -233,6 +335,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "evaluate":
             return _cmd_evaluate(args.quick, args.markdown, args.parallel,
                                  args.metrics_dir)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         if args.command == "profile":
             return _cmd_profile(args.experiment_id, args.quick, args.seed)
         if args.command == "sensitivity":

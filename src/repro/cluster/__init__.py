@@ -1,0 +1,55 @@
+"""Multi-machine datacenter simulation.
+
+The paper's motivating workloads are μs-scale datacenter services, and
+its per-node argument -- software-thread multiplexing taxes every
+block/wake transition -- matters most *at scale*, where cluster
+response time is the max over fanned-out shards and every node's tail
+is amplified (the tail-at-scale effect). This package composes many
+:class:`~repro.distributed.rpc.RpcServerModel` nodes into one simulated
+datacenter on a shared :class:`~repro.sim.engine.Engine`:
+
+- :mod:`repro.cluster.fabric` -- the network: per-link latency
+  distributions (base + exponential jitter) and drop probability;
+- :mod:`repro.cluster.balancer` -- pluggable load balancing: random,
+  round-robin, join-shortest-queue, power-of-two-choices;
+- :mod:`repro.cluster.node` -- one machine: an RPC server plus
+  admission control, conservation counters, per-node metrics/timeline;
+- :mod:`repro.cluster.service` -- the front-end: request fan-out over
+  shards (response = max over shards), replication via hedged
+  requests, exact conservation accounting;
+- :mod:`repro.cluster.run` -- config-driven runs shared by the CLI
+  (``python -m repro cluster``), ``examples/cluster_service.py``, and
+  experiment E14.
+"""
+
+from repro.cluster.balancer import POLICIES, LoadBalancer
+from repro.cluster.fabric import Fabric, LinkSpec
+from repro.cluster.node import ClusterNode
+from repro.cluster.run import (
+    DESIGNS,
+    ClusterConfig,
+    ClusterRunResult,
+    build_cluster,
+    drive_workload,
+    run_cluster,
+    scaled,
+    summarize_run,
+)
+from repro.cluster.service import ClusterService
+
+__all__ = [
+    "POLICIES",
+    "DESIGNS",
+    "LoadBalancer",
+    "Fabric",
+    "LinkSpec",
+    "ClusterNode",
+    "ClusterService",
+    "ClusterConfig",
+    "ClusterRunResult",
+    "build_cluster",
+    "drive_workload",
+    "run_cluster",
+    "scaled",
+    "summarize_run",
+]

@@ -1,0 +1,93 @@
+"""Load-balancing policies for the cluster front-end.
+
+Four classics, in increasing order of information used:
+
+- ``random`` -- uniform choice, no state consulted;
+- ``round-robin`` -- cycle through the nodes, no state consulted;
+- ``p2c`` -- power-of-two-choices: sample two nodes, send to the less
+  loaded (captures most of JSQ's benefit with O(1) state probes);
+- ``jsq`` -- join-shortest-queue: global minimum of in-flight requests
+  (the omniscient upper bound a real balancer only approximates).
+
+Load is each node's admitted-but-unfinished count
+(:meth:`~repro.cluster.node.ClusterNode.in_flight`), which the
+simulation knows exactly; a real JSQ would pay a staleness penalty the
+paper's transition-tax argument is orthogonal to, so we keep the
+oracle.
+
+``pick(exclude=...)`` supports replica selection for hedged requests:
+a hedge must land on a node the shard has not already tried.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.cluster.node import ClusterNode
+
+from random import Random
+
+#: The policy names, in the order tables report them.
+POLICIES = ("random", "round-robin", "jsq", "p2c")
+
+
+class LoadBalancer:
+    """Routes shard requests to cluster nodes under one policy."""
+
+    def __init__(self, nodes: Sequence[ClusterNode], policy: str = "p2c",
+                 rng: Optional[Random] = None):
+        if not nodes:
+            raise ConfigError("a balancer needs at least one node")
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"unknown policy {policy!r}; known: {list(POLICIES)}")
+        if policy in ("random", "p2c") and rng is None:
+            raise ConfigError(f"policy {policy!r} needs an rng")
+        self.nodes = list(nodes)
+        self.policy = policy
+        self.rng = rng
+        self.picks = 0
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------
+    def pick(self, exclude: Tuple[ClusterNode, ...] = ()) -> ClusterNode:
+        """Choose a node; ``exclude`` lists replicas already tried.
+
+        If exclusion empties the candidate set (hedging on a cluster
+        smaller than the retry budget) the full set is used again.
+        """
+        candidates = [n for n in self.nodes if n not in exclude]
+        if not candidates:
+            candidates = self.nodes
+        self.picks += 1
+        if self.policy == "random":
+            return self.rng.choice(candidates)
+        if self.policy == "round-robin":
+            return self._pick_rr(candidates)
+        if self.policy == "jsq":
+            return min(candidates,
+                       key=lambda n: (n.in_flight(), n.node_id))
+        # p2c: two distinct probes when possible, less loaded wins,
+        # lower id on ties (deterministic)
+        if len(candidates) == 1:
+            return candidates[0]
+        first, second = self.rng.sample(candidates, 2)
+        if (second.in_flight(), second.node_id) \
+                < (first.in_flight(), first.node_id):
+            return second
+        return first
+
+    def _pick_rr(self, candidates) -> ClusterNode:
+        # advance the global pointer until it lands on a candidate, so
+        # excluded nodes are skipped without desynchronizing the cycle
+        for _ in range(len(self.nodes)):
+            node = self.nodes[self._rr_next % len(self.nodes)]
+            self._rr_next = (self._rr_next + 1) % len(self.nodes)
+            if node in candidates:
+                return node
+        return candidates[0]  # unreachable: candidates is non-empty
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<LoadBalancer {self.policy} nodes={len(self.nodes)}"
+                f" picks={self.picks}>")

@@ -1,0 +1,127 @@
+"""One machine of the simulated datacenter.
+
+A :class:`ClusterNode` wraps an :class:`~repro.distributed.rpc.RpcServerModel`
+(hw-threads, sw-threads, or event-loop -- the per-node design is the
+experiment variable) and adds what the cluster layer needs on top:
+
+- admission control with a bounded in-flight limit (``queue_limit``),
+  so overload sheds load instead of queueing unboundedly;
+- exact conservation counters -- at any instant
+  ``admitted == completed + in_flight`` per node, which
+  ``tests/test_property_invariants.py`` asserts under random schedules;
+- a per-node metric namespace (``cluster.node{N}.*``) and a busy/idle
+  timeline track when an obs session is active;
+- a per-node :class:`~repro.sim.trace.Tracer` whose counters the
+  cluster service merges across nodes (``Tracer.merge``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.arch.costs import CostModel
+from repro.distributed.rpc import RpcServerModel, ServerDesign
+from repro.errors import ConfigError
+from repro.obs.timeline import ThreadState
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+
+class ClusterNode:
+    """One server machine: an RPC server plus cluster bookkeeping."""
+
+    def __init__(self, engine: Engine, node_id: int, design: ServerDesign,
+                 costs: Optional[CostModel] = None, cores: int = 1,
+                 queue_limit: Optional[int] = None,
+                 resident_threads: Optional[int] = None):
+        if node_id < 0:
+            raise ConfigError(f"node id must be >= 0, got {node_id}")
+        if queue_limit is not None and queue_limit < 1:
+            raise ConfigError(
+                f"queue limit must be >= 1, got {queue_limit}")
+        self.engine = engine
+        self.node_id = node_id
+        self.name = f"node{node_id}"
+        self.queue_limit = queue_limit
+        # a datacenter node keeps a thread-per-connection worker pool
+        # resident; the caller sizes it to the node's fan-in
+        self.server = RpcServerModel(
+            engine, design, costs, cores=cores,
+            resident_threads=resident_threads)
+        self.tracer = Tracer(engine)
+        self.admitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self._in_flight = 0
+        # observability: a per-node metric namespace and a busy/idle
+        # timeline track, only when a session is active
+        self._obs_timeline = None
+        self._obs_track = 0
+        import repro.obs as obs
+        session = obs.active()
+        if session is not None:
+            prefix = session.register_source("cluster.node",
+                                             self._fill_metrics)
+            self._obs_timeline = session.timeline
+            self._obs_track = session.register_track(
+                f"{prefix}.{design.name}")
+
+    # ------------------------------------------------------------------
+    @property
+    def design(self) -> ServerDesign:
+        return self.server.design
+
+    def in_flight(self) -> int:
+        """Requests admitted but not finished (the balancer's load signal)."""
+        return self._in_flight
+
+    def busy_cycles(self) -> int:
+        return self.server.cpu_busy_cycles()
+
+    # ------------------------------------------------------------------
+    def offer(self, request_id: int, segment_cycles: Sequence[float],
+              rtt_cycles: int,
+              on_done: Optional[Callable[[], None]] = None) -> bool:
+        """A shard request reaches this node; False when shed at admission."""
+        if self.queue_limit is not None \
+                and self._in_flight >= self.queue_limit:
+            self.rejected += 1
+            self.tracer.count("cluster node rejected")
+            return False
+        self.admitted += 1
+        self._in_flight += 1
+        self.tracer.count("cluster node admitted")
+        if self._obs_timeline is not None and self._in_flight == 1:
+            self._obs_timeline.transition(self._obs_track, 0,
+                                          ThreadState.RUNNING,
+                                          self.engine.now)
+        self.server.submit(request_id, list(segment_cycles), rtt_cycles,
+                           on_done=lambda: self._finished(on_done))
+        return True
+
+    def _finished(self, on_done: Optional[Callable[[], None]]) -> None:
+        self._in_flight -= 1
+        self.completed += 1
+        self.tracer.count("cluster node completed")
+        if self._obs_timeline is not None and self._in_flight == 0:
+            self._obs_timeline.transition(self._obs_track, 0,
+                                          ThreadState.MWAIT,
+                                          self.engine.now)
+        if on_done is not None:
+            on_done()
+
+    # ------------------------------------------------------------------
+    def conserved(self) -> bool:
+        """The node-local conservation law."""
+        return self.admitted == self.completed + self._in_flight
+
+    def _fill_metrics(self, registry, prefix: str) -> None:
+        registry.inc(f"{prefix}.admitted", self.admitted)
+        registry.inc(f"{prefix}.completed", self.completed)
+        registry.inc(f"{prefix}.rejected", self.rejected)
+        registry.inc(f"{prefix}.busy_cycles", self.busy_cycles())
+        registry.set(f"{prefix}.in_flight", self._in_flight)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ClusterNode {self.name} {self.design.name}"
+                f" in_flight={self._in_flight}>")

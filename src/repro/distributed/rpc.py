@@ -27,9 +27,16 @@ shows.
 
 from __future__ import annotations
 
-import random
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    # type-only: importing the module at runtime invites accidental use
+    # of the *global* RNG (random.random() etc.), which would break
+    # seed-stability -- every draw must come from RngStreams-provided
+    # generators passed in explicitly
+    import random
 
 from repro.analysis.stats import LatencyRecorder
 from repro.arch.costs import CostModel
@@ -46,23 +53,52 @@ from repro.workloads.requests import Request
 from repro.workloads.service import ServiceDistribution
 
 
+#: Crowding normalization: scheduler and pollution scaling are
+#: expressed per CROWD_UNIT resident software threads.
+CROWD_UNIT = 8
+#: Beyond this many resident threads the working sets have evicted the
+#: whole cache already -- one more thread cannot pollute further.
+CROWD_CACHE_CAP = 64
+
+
 @dataclass(frozen=True)
 class ServerDesign:
-    """A named (discipline, overhead-model) pair."""
+    """A named (discipline, overhead-model) pair.
+
+    ``crowd`` is the number of *other* software threads resident on the
+    node (idle pool workers plus concurrently active requests). Only
+    sw-threads pays for it: the kernel runqueue grows (pick-next and
+    queue maintenance scale ~log in runnable threads) and every
+    additional resident working set evicts more cache per switch, up to
+    :data:`CROWD_CACHE_CAP` where the cache is fully churned. This is
+    the paper's Section 1 claim quantified: "multiplexing a large
+    number of software threads onto a small number of hardware threads
+    is expensive ... suffering many cache misses along the way".
+    Hardware threads keep per-context state (no switch, no shared
+    runqueue walk) and the event loop runs one stack to completion, so
+    neither design's overhead depends on ``crowd``.
+    """
 
     name: str
     discipline: str             # "ps" | "fifo"
 
-    def transition_overhead_cycles(self, costs: CostModel) -> int:
+    def transition_overhead_cycles(self, costs: CostModel,
+                                   crowd: int = 0) -> int:
         """CPU cycles charged per block/unblock transition."""
         if self.name == "hw-threads":
             return costs.hw_wakeup_cycles("rf")
         if self.name == "sw-threads":
             # block: switch away; wake: scheduler + switch back (+ the
             # cache pollution both sides eat)
-            return (costs.sw_switch_cycles
+            base = (costs.sw_switch_cycles
                     + costs.scheduler_cycles + costs.sw_switch_cycles
                     + costs.cache_pollution_cycles)
+            if crowd > 0:
+                base += int(costs.scheduler_cycles
+                            * math.log2(1 + crowd / CROWD_UNIT))
+                base += (costs.cache_pollution_cycles
+                         * min(crowd, CROWD_CACHE_CAP) // CROWD_UNIT)
+            return base
         if self.name == "event-loop":
             return 50  # enqueue continuation + dispatch callback
         raise ConfigError(f"unknown design {self.name!r}")
@@ -72,18 +108,34 @@ HW_THREADS = ServerDesign("hw-threads", "ps")
 SW_THREADS = ServerDesign("sw-threads", "ps")
 EVENT_LOOP = ServerDesign("event-loop", "fifo")
 
-
 class RpcServerModel:
-    """One server instance executing segmented requests."""
+    """One server instance executing segmented requests.
+
+    ``resident_threads`` (``None`` by default, set by the cluster
+    layer) models a thread-per-connection worker pool: that many
+    software threads stay resident on the node even when idle, and the
+    sw-threads per-transition overhead is charged at crowd =
+    ``resident_threads`` + concurrently active requests (see
+    :meth:`ServerDesign.transition_overhead_cycles`). Cluster nodes
+    size the pool to their fan-in -- peers times connections per peer
+    -- which is how the transition tax grows with cluster size while
+    hw-threads, with per-context hardware state, stays flat. ``None``
+    disables crowding entirely (the single-server E09 model).
+    """
 
     def __init__(self, engine: Engine, design: ServerDesign,
-                 costs: Optional[CostModel] = None, cores: int = 1):
+                 costs: Optional[CostModel] = None, cores: int = 1,
+                 resident_threads: Optional[int] = None):
         if cores < 1:
             raise ConfigError(f"cores must be >= 1, got {cores}")
         self.engine = engine
         self.design = design
         self.costs = costs or CostModel()
+        if resident_threads is not None and resident_threads < 0:
+            raise ConfigError(
+                f"resident_threads must be >= 0, got {resident_threads}")
         self.cores = cores
+        self.resident_threads = resident_threads
         self.recorder = LatencyRecorder(f"{design.name}.latency")
         self.completed = 0
         self.active = 0
@@ -102,20 +154,38 @@ class RpcServerModel:
 
     # ------------------------------------------------------------------
     def submit(self, request_id: int, segment_cycles: list,
-               rtt_cycles: int) -> None:
-        """A request arrives now with the given CPU segments."""
+               rtt_cycles: int,
+               on_done: Optional[Callable[[], None]] = None) -> None:
+        """A request arrives now with the given CPU segments.
+
+        ``on_done`` (if given) is called when the last segment
+        completes -- the cluster layer uses it to send the response
+        back over the fabric without polling.
+        """
         if not segment_cycles:
             raise ConfigError("request needs at least one segment")
         self.engine.spawn(
-            self._handle(request_id, list(segment_cycles), rtt_cycles),
+            self._handle(request_id, list(segment_cycles), rtt_cycles,
+                         on_done),
             name=f"{self.design.name}.req{request_id}")
 
-    def _handle(self, request_id: int, segments: list, rtt: int):
+    def segment_overhead_cycles(self) -> int:
+        """Per-transition overhead at the *current* crowding level."""
+        crowd = 0
+        if self.resident_threads is not None:
+            crowd = self.resident_threads + max(self.active - 1, 0)
+        return self.design.transition_overhead_cycles(self.costs,
+                                                      crowd=crowd)
+
+    def _handle(self, request_id: int, segments: list, rtt: int,
+                on_done: Optional[Callable[[], None]] = None):
         self.active += 1
         self.peak_concurrency = max(self.peak_concurrency, self.active)
         arrived = self.engine.now
-        overhead = self.design.transition_overhead_cycles(self.costs)
         for index, seg in enumerate(segments):
+            # re-read each segment: the crowding term tracks how many
+            # requests are resident *now*, not at arrival
+            overhead = self.segment_overhead_cycles()
             demand = max(1, int(round(seg))) + overhead
             done = Signal("seg.done")
             self._seg_counter += 1
@@ -130,6 +200,8 @@ class RpcServerModel:
         self.active -= 1
         self.completed += 1
         self.recorder.record(self.engine.now - arrived)
+        if on_done is not None:
+            on_done()
 
     # ------------------------------------------------------------------
     def cpu_busy_cycles(self) -> int:

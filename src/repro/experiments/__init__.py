@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E01-E13.
+"""The evaluation harness: experiments E01-E14.
 
 The paper is a HotOS vision paper with one table (the example TDT) and
 no measured figures; its evaluation surface is the set of quantitative
@@ -39,6 +39,7 @@ from repro.experiments import (  # noqa: E402  (registration imports)
     e11_wakeup_latency,
     e12_scheduling,
     e13_cache_warmup,
+    e14_cluster,
 )
 
 __all__ = [

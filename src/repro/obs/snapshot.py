@@ -30,6 +30,10 @@ prefix              meaning
 ``kernel.io.*``     I/O-server wakeups, wasted cycles, latency
 ``dev.*``           devices (NIC packet counters)
 ``trace.*``         compat shim: legacy ``Tracer.count`` counters
+``cluster.service{N}.*``  cluster front-end: request/attempt/hedge
+                    counters and the end-to-end latency histogram
+``cluster.node{N}.*``  per-node admission/completion/busy counters
+``cluster.fabric{N}.*``  network fabric sends, drops, delay cycles
 ==================  ====================================================
 """
 
@@ -53,6 +57,11 @@ NAMESPACE = {
     "kernel.io": "I/O-server wakeups, wasted cycles, latency",
     "dev": "devices (NIC packet counters)",
     "trace": "compat shim for legacy Tracer.count counters",
+    "cluster.service{N}": "cluster front-end: request/attempt/hedge "
+                          "counters and the end-to-end latency histogram",
+    "cluster.node{N}": "per-node admission/completion/busy counters and "
+                       "in-flight gauge",
+    "cluster.fabric{N}": "network fabric sends, drops, and delay cycles",
 }
 
 

@@ -127,12 +127,16 @@ class Engine:
 
     def _note_cancel(self) -> None:
         self._live -= 1
-        # lazily compact once cancelled entries outnumber live ones
+        # lazily compact once cancelled entries outnumber live ones.
+        # In place: run()/run_until_idle() hold a local alias to the
+        # list, so rebinding self._queue mid-run would strand every
+        # event scheduled after the compaction in a heap the dispatch
+        # loop never looks at.
         queue = self._queue
         dead = len(queue) - self._live
         if dead > len(queue) // 2 and len(queue) >= _COMPACT_MIN_QUEUE:
-            self._queue = [entry for entry in queue if not entry[2].cancelled]
-            heapq.heapify(self._queue)
+            queue[:] = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(queue)
 
     # ------------------------------------------------------------------
     # execution

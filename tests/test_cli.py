@@ -9,7 +9,7 @@ class TestList:
     def test_lists_all_experiments(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 14):
+        for i in range(1, 15):
             assert f"E{i:02d}" in out
 
     def test_anchors_shown(self, capsys):
@@ -44,6 +44,33 @@ class TestJsonOutput:
         assert payload["claims"]
         assert all(c["verdict"] == "supported" for c in payload["claims"])
         assert payload["tables"][0]["columns"]
+
+
+class TestCluster:
+    def test_runs_and_prints_summary_table(self, capsys):
+        assert main(["cluster", "--nodes", "4", "--fanout", "2",
+                     "--requests", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "hw-threads" in out
+        assert "conserved" in out
+
+    def test_design_all_compares_three(self, capsys):
+        assert main(["cluster", "--nodes", "4", "--design", "all",
+                     "--requests", "30"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hw-threads", "sw-threads", "event-loop"):
+            assert name in out
+
+    def test_unknown_design_fails(self, capsys):
+        assert main(["cluster", "--design", "fibers"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_json_output_parseable(self, capsys):
+        import json
+        assert main(["cluster", "--nodes", "2", "--requests", "20",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hw-threads"]["conserved"] is True
 
 
 class TestIsaReference:

@@ -122,3 +122,52 @@ class TestRpcWorkload:
         with pytest.raises(ConfigError):
             RpcWorkload(engine, server, PoissonArrivals(100), Constant(10),
                         RngStreams(1).stream("w"), segments=0)
+
+
+class TestSeedStability:
+    """The determinism audit: nothing in the RPC layer may touch the
+    global random module, so poisoning its state between runs must not
+    change a single sample."""
+
+    def _fingerprint(self):
+        _engine, server = run_workload(SW_THREADS,
+                                       service=Exponential(3_000),
+                                       requests=80, seed=42)
+        return (server.completed, tuple(server.recorder.samples))
+
+    def test_global_rng_poisoning_is_irrelevant(self):
+        import random
+        random.seed(0)
+        first = self._fingerprint()
+        random.seed(31337)
+        for _ in range(1_000):
+            random.random()
+        second = self._fingerprint()
+        assert first == second
+
+    def test_module_has_no_runtime_random_import(self):
+        # the `import random` in rpc.py is TYPE_CHECKING-gated; at
+        # runtime the module must not even expose the global-RNG module
+        import repro.distributed.rpc as rpc
+        assert not hasattr(rpc, "random")
+
+
+class TestResidentCrowding:
+    def test_overhead_reread_per_segment_tracks_active(self):
+        """The crowd term must follow the live concurrency, not the
+        arrival-time snapshot: a burst of simultaneous requests makes
+        every later segment dearer."""
+        engine = Engine()
+        costs = CostModel()
+        server = RpcServerModel(engine, SW_THREADS, costs,
+                                resident_threads=8)
+        for i in range(4):
+            server.submit(i, [1_000.0, 1_000.0], 100)
+        engine.run()
+        assert server.completed == 4
+        solo = SW_THREADS.transition_overhead_cycles(costs, crowd=8)
+        crowded = SW_THREADS.transition_overhead_cycles(costs, crowd=11)
+        # 4 concurrent requests x 2 segments, each charged between the
+        # solo floor and the full-burst ceiling
+        per_request = server.cpu_busy_cycles() / 4
+        assert 2 * (1_000 + solo) <= per_request <= 2 * (1_000 + crowded)

@@ -25,7 +25,7 @@ def test_examples_directory_complete():
     assert {"quickstart.py", "echo_server_io.py", "untrusted_hypervisor.py",
             "microkernel_fs.py", "sandboxed_extension.py",
             "thread_per_request.py", "hw_scheduler.py",
-            "run_evaluation.py"} <= names
+            "run_evaluation.py", "cluster_service.py"} <= names
 
 
 def test_quickstart():
@@ -70,7 +70,14 @@ def test_sandboxed_extension():
     assert "PRIVILEGE_FAULT" in out
 
 
+def test_cluster_service():
+    out = run_example("cluster_service.py")
+    assert "conserved         : True" in out
+    assert "hedges sent" in out
+    assert "sw/hw p99 ratio" in out
+
+
 @pytest.mark.slow
 def test_run_evaluation_quick():
     out = run_example("run_evaluation.py", "--quick")
-    assert "All 13 experiments support the paper's claims." in out
+    assert "All 14 experiments support the paper's claims." in out

@@ -12,7 +12,7 @@ from repro.experiments.registry import register
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [e.experiment_id for e in all_experiments()]
-        assert ids == [f"E{i:02d}" for i in range(1, 14)]
+        assert ids == [f"E{i:02d}" for i in range(1, 15)]
 
     def test_lookup_by_id(self):
         exp = get_experiment("E05")
@@ -186,3 +186,39 @@ class TestE12Shape:
         fine = min(ablation)
         assert ablation[fine]["sw"]["p99"] > ablation[fine]["hw"]["p99"]
         assert ablation[fine]["sw"]["overhead"] > 0
+
+
+class TestE14Shape:
+    def test_ratio_grows_with_node_count(self, results):
+        tail = results["E14"].series("tail")
+        ratios = [tail[n]["ratio"]
+                  for n in results["E14"].series("node_counts")]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+    def test_deep_fanout_amplifies_past_2x(self, results):
+        tail = results["E14"].series("tail")
+        for cell in tail.values():
+            if cell["fanout"] >= 8:
+                assert cell["ratio"] > 2.0
+
+    def test_every_cell_conserved(self, results):
+        tail = results["E14"].series("tail")
+        assert all(cell["conserved"] for cell in tail.values())
+
+    def test_fan_in_tax_hits_only_sw(self, results):
+        tax = results["E14"].series("tax")
+        counts = results["E14"].series("node_counts")
+        sw = [tax[n]["sw_util"] for n in counts]
+        assert all(b > a for a, b in zip(sw, sw[1:]))
+        hw = {tax[n]["hw_util"] for n in counts}
+        assert len(hw) == 1  # flat: no crowd term
+
+    def test_no_policy_recovers_hw(self, results):
+        policies = results["E14"].series("policies")
+        for cell in policies.values():
+            assert cell["sw-threads"] > cell["hw-threads"]
+
+    def test_hedging_masks_drops(self, results):
+        hedge = results["E14"].series("hedge")
+        assert hedge["on"]["dropped"] < hedge["off"]["dropped"]
+        assert hedge["on"]["hedges"] > 0

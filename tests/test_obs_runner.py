@@ -13,7 +13,7 @@ import pytest
 from repro.cli import main
 from repro.experiments.parallel import run_instrumented
 
-EXPERIMENTS = ["E03", "E10"]  # one machine-based, one analytic
+EXPERIMENTS = ["E03", "E10", "E14"]  # machine-based, analytic, cluster
 
 
 class TestRunInstrumented:
@@ -40,6 +40,12 @@ class TestRunInstrumented:
 
     def test_tracers_merge_worker_counters(self, serial, parallel):
         assert serial.tracer.counters == parallel.tracer.counters
+
+    def test_cluster_sources_land_in_snapshot(self, serial):
+        counters = serial.snapshots["E14"]["metrics"]["counters"]
+        for prefix in ("cluster.service", "cluster.node",
+                       "cluster.fabric"):
+            assert any(name.startswith(prefix) for name in counters), prefix
 
     def test_snapshot_content_sane(self, serial):
         snapshot = serial.snapshots["E03"]
@@ -82,7 +88,7 @@ class TestCliObsVerbs:
                      str(out_dir)]) in (0, 1)
         written = sorted(p.name for p in out_dir.iterdir())
         assert written == [f"E{n:02d}-metrics.json"
-                           for n in range(1, 14)]
+                           for n in range(1, 15)]
         for path in out_dir.iterdir():
             snapshot = json.loads(path.read_text())
             assert "metrics" in snapshot

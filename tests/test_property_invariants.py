@@ -159,3 +159,41 @@ class TestWatchBusProperties:
         memory.store(addr, 1)
         assert watch.trigger_count == 0
         assert memory.watch_bus.watchers_on(addr) == 0
+
+
+class TestClusterConservation:
+    """The cluster's conservation laws must hold at *any* instant --
+    including mid-flight at an arbitrary horizon, under loss, admission
+    rejection, and hedging: admitted == completed + in_flight per node,
+    issued == completed + dropped + in_flight at the service, and every
+    shard attempt settles into exactly one accounting bucket."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           nodes=st.integers(min_value=1, max_value=6),
+           fanout_frac=st.floats(min_value=0.0, max_value=1.0),
+           horizon_frac=st.floats(min_value=0.05, max_value=1.5),
+           drop=st.sampled_from([0.0, 0.02, 0.1]),
+           queue_limit=st.sampled_from([None, 2, 8]),
+           hedge=st.sampled_from([None, 40_000]))
+    @settings(max_examples=25, deadline=None)
+    def test_conserved_at_any_horizon(self, seed, nodes, fanout_frac,
+                                      horizon_frac, drop, queue_limit,
+                                      hedge):
+        from repro.cluster import ClusterConfig, LinkSpec, run_cluster
+
+        fanout = max(1, min(nodes, int(round(fanout_frac * nodes))))
+        config = ClusterConfig(nodes=nodes, fanout=fanout, requests=30,
+                               load=0.5, queue_limit=queue_limit,
+                               hedge_after=hedge,
+                               link=LinkSpec(drop_prob=drop))
+        horizon = max(1, int(config.horizon() * horizon_frac))
+        result = run_cluster(config, seed=seed, horizon=horizon)
+        service = result.service
+        audit = service.conservation()
+        assert audit["ok"], audit
+        # the aggregate law, spelled out
+        assert service.issued == (service.completed + service.dropped
+                                  + service.in_flight)
+        # and per node
+        for node in service.nodes:
+            assert node.admitted == node.completed + node.in_flight()

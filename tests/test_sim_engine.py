@@ -145,3 +145,43 @@ def test_same_time_callback_from_callback_runs_same_run():
     engine.after(10, lambda: engine.at(10, seen.append, "nested"))
     engine.run()
     assert seen == ["nested"]
+
+
+def test_mass_cancel_mid_run_keeps_later_events():
+    # regression: lazy heap compaction used to rebind self._queue while
+    # run() held a local alias to the old list, stranding every event
+    # scheduled after the compaction in a heap the dispatch loop never
+    # looked at (seen in practice as cluster runs stalling with live
+    # events pending)
+    engine = Engine()
+    seen = []
+    cancellable = [engine.at(1_000 + i, seen.append, "dead")
+                   for i in range(100)]
+
+    def purge():
+        for call in cancellable:
+            call.cancel()   # crosses the compaction threshold mid-run
+        engine.after(5, seen.append, "scheduled-after-compaction")
+
+    engine.at(10, purge)
+    engine.at(2_000, seen.append, "tail")
+    engine.run()
+    assert seen == ["scheduled-after-compaction", "tail"]
+    assert engine.pending_events == 0
+
+
+def test_compaction_preserves_order_and_count():
+    engine = Engine()
+    seen = []
+    doomed = [engine.at(500 + i, seen.append, f"dead{i}")
+              for i in range(80)]
+    survivors = [engine.at(10_000 + i, seen.append, i) for i in range(5)]
+
+    def purge():
+        for call in doomed:
+            call.cancel()
+        assert engine.pending_events == len(survivors)
+
+    engine.at(100, purge)
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
