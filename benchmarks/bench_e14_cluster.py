@@ -32,3 +32,28 @@ def test_bench_sw_cluster(benchmark):
     # the fan-in crowding tax: sw pays more for the same workload
     assert (result.summary["p99"]
             > _run("hw-threads").summary["p99"])
+
+
+def _stale_run(probe_delay):
+    config = ClusterConfig(nodes=8, design=DESIGNS["hw-threads"],
+                           policy="jsq", fanout=2, load=0.8,
+                           mean_service_cycles=5_000, segments=4,
+                           rtt_cycles=20_000, requests=300,
+                           probe_delay_cycles=probe_delay)
+    return run_cluster(config, seed=7)
+
+
+def test_staleness_vs_p99():
+    """The oracle gap: stale jsq probes cost tail latency.
+
+    One row per probe delay -- the staleness-vs-p99 curve the balancer
+    satellite asks for. At high load the exact oracle must beat badly
+    stale snapshots; mild staleness may tie, so the assertion compares
+    the endpoints only.
+    """
+    rows = {delay: _stale_run(delay).summary
+            for delay in (0, 20_000, 200_000)}
+    for delay, summary in rows.items():
+        assert summary["conserved"], f"probe_delay={delay}"
+        assert summary["completed"] == 300
+    assert rows[200_000]["p99"] > rows[0]["p99"]

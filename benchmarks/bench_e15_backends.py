@@ -1,0 +1,33 @@
+"""E15 bench: backend agreement + the ISA-backend cluster micro-bench."""
+
+from repro.cluster import ClusterConfig, DESIGNS, run_cluster
+
+
+def test_e15_backend_agreement(run_experiment):
+    result = run_experiment("E15", rounds=1)
+    assert result.series("worst_p99_deviation") <= 2.0
+    ratios = result.series("sw_hw_ratios")
+    assert all(r > 1.0 for r in ratios["model"])
+    assert all(r > 1.0 for r in ratios["isa"])
+
+
+def _run(backend, requests=60):
+    config = ClusterConfig(nodes=2, design=DESIGNS["hw-threads"],
+                           policy="round-robin", fanout=1, load=0.06,
+                           mean_service_cycles=4_000, segments=2,
+                           rtt_cycles=20_000, requests=requests,
+                           backend=backend)
+    return run_cluster(config, seed=7)
+
+
+def test_bench_model_cluster(benchmark):
+    result = benchmark(_run, "model")
+    assert result.summary["completed"] == 60
+    assert result.summary["conserved"]
+
+
+def test_bench_isa_cluster(benchmark):
+    """The fidelity premium: every ISA-node cycle is simulated."""
+    result = benchmark(_run, "isa")
+    assert result.summary["completed"] == 60
+    assert result.summary["conserved"]

@@ -1,0 +1,23 @@
+"""Pluggable server backends: one protocol, several fidelity levels.
+
+See :mod:`repro.backends.base` for the :class:`ServerBackend` protocol
+and the registry, :mod:`repro.backends.machine` for the ISA-level
+implementation. The behavioral implementation lives where it always
+did, in :mod:`repro.distributed.rpc`, and is registered as ``"model"``.
+"""
+
+from repro.backends.base import (
+    BACKENDS,
+    ServerBackend,
+    backend_names,
+    create_backend,
+)
+from repro.backends.machine import MachineBackend
+
+__all__ = [
+    "BACKENDS",
+    "ServerBackend",
+    "MachineBackend",
+    "backend_names",
+    "create_backend",
+]

@@ -1,0 +1,271 @@
+"""The ISA-level server backend: requests run as real guest threads.
+
+Where the ``"model"`` backend charges the paper's transition costs
+analytically, this backend *executes* them: each admitted request is
+assembled into straight-line blocking code (the Section 2 style --
+compute, issue the remote call, ``monitor``/``mwait`` on the reply
+slot, compute, finish) and bound to a hardware thread of a
+:class:`~repro.machine.Machine` built on the cluster's shared engine.
+Wakeup costs, issue-slot sharing, and storage-tier start latencies come
+out of the simulated core itself.
+
+Per design:
+
+- **hw-threads** -- thread-per-request: every request gets its own
+  ptid; RTT gaps block on monitor/mwait and the hardware charges the
+  real wakeup cost (``monitor_wakeup_cycles`` + storage start latency).
+  No analytic overhead is added -- the machine *is* the cost model.
+- **sw-threads** -- same thread-per-request program, but each segment
+  carries the software transition tax
+  (:meth:`~repro.distributed.rpc.ServerDesign.transition_overhead_cycles`
+  at the crowding level observed at submit) as extra ``work`` cycles:
+  the scheduler walk and cache refill are CPU cycles the core really
+  burns. (The behavioral model re-reads the crowd at each segment;
+  freezing it at submit is indistinguishable at the loads E15 runs.)
+- **event-loop** -- one worker ptid runs segments to completion from a
+  FIFO continuation queue; each segment carries the 50-cycle dispatch
+  as ``work``, and head-of-line blocking is physical: the worker cannot
+  be reloaded until the running segment halts.
+
+The core issues one instruction per cycle (``smt_width=1``) round-robin
+over runnable ptids -- processor sharing, matching the behavioral PS
+discipline at one-cycle granularity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.analysis.stats import LatencyRecorder
+from repro.arch.costs import CostModel
+from repro.distributed.rpc import ServerDesign
+from repro.errors import ConfigError
+from repro.machine import Machine, MachineConfig
+from repro.sim.engine import Engine
+
+#: Hardware threads per node machine: the concurrent-request ceiling
+#: for the thread-per-request designs (overflow queues in FIFO order).
+DEFAULT_SLOTS = 32
+
+#: Cycles between a request's DONE store and its slot being reloaded:
+#: the ``halt`` after the store must retire before a new program can be
+#: bound to the ptid. Deterministic and tiny next to any segment.
+_SLOT_DRAIN_CYCLES = 2
+
+
+@dataclass
+class _Pending:
+    """One request accepted by the backend."""
+
+    request_id: int
+    segments: List[int]         # per-segment work immediates, tax included
+    rtt_cycles: int
+    arrived: int
+    on_done: Optional[Callable[[], None]]
+    next_segment: int = 0       # event-loop continuation cursor
+
+
+@dataclass
+class _Slot:
+    """One worker ptid with its request/reply/done mailboxes."""
+
+    ptid: int
+    req_base: int
+    reply_base: int
+    done_base: int
+    current: Optional[_Pending] = field(default=None)
+
+
+class MachineBackend:
+    """Serve segmented requests on a full ISA-level machine."""
+
+    def __init__(self, engine: Engine, design: ServerDesign,
+                 costs: Optional[CostModel] = None, cores: int = 1,
+                 resident_threads: Optional[int] = None,
+                 slots: int = DEFAULT_SLOTS):
+        if cores != 1:
+            raise ConfigError(
+                f"the 'isa' backend drives a single-core machine, got "
+                f"cores={cores}; use cores_per_node=1 or the 'model' "
+                f"backend for multi-core nodes")
+        if slots < 1:
+            raise ConfigError(f"need at least one slot, got {slots}")
+        if resident_threads is not None and resident_threads < 0:
+            raise ConfigError(
+                f"resident_threads must be >= 0, got {resident_threads}")
+        self.engine = engine
+        self.design = design
+        self.costs = costs or CostModel()
+        self.resident_threads = resident_threads
+        self.recorder = LatencyRecorder(f"{design.name}.isa.latency")
+        self.completed = 0
+        self.active = 0
+        self.peak_concurrency = 0
+        if design.name == "event-loop":
+            slots = 1           # single-threaded by definition
+        self.machine = Machine(
+            MachineConfig(cores=1, hw_threads_per_core=slots, smt_width=1,
+                          costs=self.costs),
+            engine=engine)
+        self._slots: List[_Slot] = []
+        self._free: Deque[_Slot] = deque()
+        for ptid in range(slots):
+            slot = _Slot(
+                ptid=ptid,
+                req_base=self.machine.alloc(f"req{ptid}", 64).base,
+                reply_base=self.machine.alloc(f"reply{ptid}", 64).base,
+                done_base=self.machine.alloc(f"done{ptid}", 64).base)
+            self._slots.append(slot)
+            self._free.append(slot)
+            bus = self.machine.memory.watch_bus
+            if design.name != "event-loop":
+                bus.subscribe(slot.req_base, self._make_peer(slot),
+                              owner=f"net-peer{ptid}")
+            bus.subscribe(slot.done_base, self._make_done(slot),
+                          owner=f"completion{ptid}")
+        #: overflow requests (thread-per-request) or continuations
+        #: (event-loop), both strictly FIFO
+        self._backlog: Deque[_Pending] = deque()
+
+    # ------------------------------------------------------------------
+    def submit(self, request_id: int, segment_cycles: List[float],
+               rtt_cycles: int,
+               on_done: Optional[Callable[[], None]] = None) -> None:
+        """A request arrives now (the ServerBackend contract)."""
+        if not segment_cycles:
+            raise ConfigError("request needs at least one segment")
+        self.active += 1
+        self.peak_concurrency = max(self.peak_concurrency, self.active)
+        pending = _Pending(
+            request_id=request_id,
+            segments=self._work_cycles(segment_cycles),
+            rtt_cycles=max(1, rtt_cycles),
+            arrived=self.engine.now,
+            on_done=on_done)
+        self._backlog.append(pending)
+        self._dispatch()
+
+    def cpu_busy_cycles(self) -> int:
+        """Cycles the core's threads actually executed for."""
+        return int(sum(t.cycles_busy
+                       for t in self.machine.core(0).threads))
+
+    # ------------------------------------------------------------------
+    def _work_cycles(self, segment_cycles: List[float]) -> List[int]:
+        """Per-segment ``work`` immediates: demand plus any analytic tax.
+
+        hw-threads adds nothing -- the machine charges its own wakeups.
+        """
+        if self.design.name == "hw-threads":
+            tax = 0
+        else:
+            crowd = 0
+            if self.resident_threads is not None:
+                crowd = self.resident_threads + max(self.active - 1, 0)
+            tax = self.design.transition_overhead_cycles(self.costs,
+                                                         crowd=crowd)
+        return [max(1, int(round(seg))) + tax for seg in segment_cycles]
+
+    def _dispatch(self) -> None:
+        while self._backlog and self._free:
+            slot = self._free.popleft()
+            slot.current = self._backlog.popleft()
+            self._load_slot(slot)
+
+    def _load_slot(self, slot: _Slot) -> None:
+        pending = slot.current
+        if self.design.name == "event-loop":
+            source = self._segment_asm(pending)
+        else:
+            source = self._request_asm(pending)
+        self.machine.load_asm(
+            slot.ptid, source,
+            symbols={"REQ": slot.req_base, "REPLY": slot.reply_base,
+                     "DONE": slot.done_base},
+            supervisor=False,
+            name=f"{self.design.name}.req{pending.request_id}")
+        self.machine.boot(slot.ptid)
+
+    def _request_asm(self, pending: _Pending) -> str:
+        """Straight-line blocking code for one whole request."""
+        lines = [f"    work {pending.segments[0]}"]
+        for index, work in enumerate(pending.segments[1:], start=1):
+            lines += [
+                "    movi r1, REPLY",
+                "    monitor r1",        # armed before the call: no
+                "    movi r2, REQ",      # lost wakeup on a fast reply
+                f"    movi r3, {index}",
+                "    st r2, 0, r3",      # issue the remote call
+                "    mwait",             # simple blocking semantics
+                f"    work {work}",
+            ]
+        lines += [
+            "    movi r4, DONE",
+            "    movi r5, 1",
+            "    st r4, 0, r5",
+            "    halt",
+        ]
+        return "\n".join(lines)
+
+    def _segment_asm(self, pending: _Pending) -> str:
+        """One run-to-completion event-loop callback."""
+        return "\n".join([
+            f"    work {pending.segments[pending.next_segment]}",
+            "    movi r1, DONE",
+            "    movi r2, 1",
+            "    st r1, 0, r2",
+            "    halt",
+        ])
+
+    # ------------------------------------------------------------------
+    def _make_peer(self, slot: _Slot):
+        """The remote side of the mid-request call: replies after RTT."""
+        def on_request(_info: dict) -> None:
+            pending = slot.current
+            if pending is None:     # stale store; cannot happen, but safe
+                return
+            self.engine.after(pending.rtt_cycles, self.machine.memory.store,
+                              slot.reply_base, pending.request_id,
+                              "dma:net")
+        return on_request
+
+    def _make_done(self, slot: _Slot):
+        def on_done(_info: dict) -> None:
+            # the halt after this store must retire before the slot can
+            # host another program
+            self.engine.after(_SLOT_DRAIN_CYCLES, self._drained, slot)
+        return on_done
+
+    def _drained(self, slot: _Slot) -> None:
+        pending = slot.current
+        slot.current = None
+        self._free.append(slot)
+        if self.design.name == "event-loop":
+            pending.next_segment += 1
+            if pending.next_segment < len(pending.segments):
+                # the remote call between segments: re-enter the FIFO
+                # once the reply returns
+                self.engine.after(pending.rtt_cycles,
+                                  self._continue, pending)
+            else:
+                self._complete(pending)
+        else:
+            self._complete(pending)
+        self._dispatch()
+
+    def _continue(self, pending: _Pending) -> None:
+        self._backlog.append(pending)
+        self._dispatch()
+
+    def _complete(self, pending: _Pending) -> None:
+        self.active -= 1
+        self.completed += 1
+        self.recorder.record(self.engine.now - pending.arrived)
+        if pending.on_done is not None:
+            pending.on_done()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<MachineBackend {self.design.name} active={self.active}"
+                f" completed={self.completed}>")

@@ -6,7 +6,7 @@ Subcommands:
 - ``run E03 [--quick] [--trace out.json] [--metrics out.json]`` -- one
   experiment, optionally with a Perfetto trace and a metrics snapshot;
 - ``evaluate [--quick] [--markdown] [--metrics DIR]`` -- the full
-  E01-E14 evaluation, optionally writing one metrics snapshot per
+  E01-E15 evaluation, optionally writing one metrics snapshot per
   experiment;
 - ``cluster [--nodes N] [--design D] [--policy P] [--fanout F]`` -- one
   multi-machine cluster run (see :mod:`repro.cluster`) with its summary
@@ -71,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--design", default="hw-threads",
                          help="hw-threads | sw-threads | event-loop, "
                               "or 'all' to compare the three")
+    cluster.add_argument("--backend", default="model",
+                         help="server backend per node: 'model' "
+                              "(behavioral RpcServerModel) or 'isa' "
+                              "(full ISA-level machine)")
     cluster.add_argument("--policy", default="round-robin",
                          help="random | round-robin | jsq | p2c")
     cluster.add_argument("--fanout", type=int, default=1,
@@ -251,7 +255,13 @@ def _cmd_cluster(args) -> int:
     import json
 
     from repro.analysis.tables import Table
-    from repro.cluster import DESIGNS, ClusterConfig, LinkSpec, run_cluster
+    from repro.cluster import (
+        DESIGNS,
+        ClusterConfig,
+        LinkSpec,
+        get_design,
+        run_cluster,
+    )
     from repro.errors import ReproError
 
     names = (list(DESIGNS) if args.design == "all"
@@ -259,16 +269,13 @@ def _cmd_cluster(args) -> int:
     summaries = {}
     try:
         for name in names:
-            if name not in DESIGNS:
-                raise ReproError(
-                    f"unknown design {name!r}; pick from "
-                    f"{', '.join(DESIGNS)} or 'all'")
             config = ClusterConfig(
-                nodes=args.nodes, design=DESIGNS[name],
+                nodes=args.nodes, design=get_design(name),
                 policy=args.policy, fanout=args.fanout, load=args.load,
                 requests=args.requests, queue_limit=args.queue_limit,
                 hedge_after=args.hedge_after,
-                link=LinkSpec(drop_prob=args.drop_prob))
+                link=LinkSpec(drop_prob=args.drop_prob),
+                backend=args.backend)
             if args.trace_path or args.metrics_path:
                 import repro.obs as obs
 

@@ -27,10 +27,12 @@ from repro.cluster.fabric import Fabric, LinkSpec
 from repro.cluster.node import ClusterNode
 from repro.cluster.run import (
     DESIGNS,
+    PLACEMENTS,
     ClusterConfig,
     ClusterRunResult,
     build_cluster,
     drive_workload,
+    get_design,
     run_cluster,
     scaled,
     summarize_run,
@@ -40,6 +42,8 @@ from repro.cluster.service import ClusterService
 __all__ = [
     "POLICIES",
     "DESIGNS",
+    "PLACEMENTS",
+    "get_design",
     "LoadBalancer",
     "Fabric",
     "LinkSpec",

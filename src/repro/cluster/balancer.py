@@ -10,10 +10,13 @@ Four classics, in increasing order of information used:
   (the omniscient upper bound a real balancer only approximates).
 
 Load is each node's admitted-but-unfinished count
-(:meth:`~repro.cluster.node.ClusterNode.in_flight`), which the
-simulation knows exactly; a real JSQ would pay a staleness penalty the
-paper's transition-tax argument is orthogonal to, so we keep the
-oracle.
+(:meth:`~repro.cluster.node.ClusterNode.in_flight`). By default the
+balancer reads it exactly (the omniscient oracle); a real balancer
+probes periodically and routes on stale counts, which
+``probe_delay_cycles`` models: with a delay of ``D``, every load read
+comes from a snapshot of all nodes refreshed at most once per ``D``
+cycles. ``probe_delay_cycles=0`` (the default) is the exact oracle and
+byte-identical to the pre-staleness behavior.
 
 ``pick(exclude=...)`` supports replica selection for hedged requests:
 a hedge must land on a node the shard has not already tried.
@@ -21,10 +24,11 @@ a hedge must land on a node the shard has not already tried.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.cluster.node import ClusterNode
+from repro.sim.engine import Engine
 
 from random import Random
 
@@ -36,7 +40,9 @@ class LoadBalancer:
     """Routes shard requests to cluster nodes under one policy."""
 
     def __init__(self, nodes: Sequence[ClusterNode], policy: str = "p2c",
-                 rng: Optional[Random] = None):
+                 rng: Optional[Random] = None,
+                 probe_delay_cycles: int = 0,
+                 engine: Optional[Engine] = None):
         if not nodes:
             raise ConfigError("a balancer needs at least one node")
         if policy not in POLICIES:
@@ -44,11 +50,39 @@ class LoadBalancer:
                 f"unknown policy {policy!r}; known: {list(POLICIES)}")
         if policy in ("random", "p2c") and rng is None:
             raise ConfigError(f"policy {policy!r} needs an rng")
+        if probe_delay_cycles < 0:
+            raise ConfigError(
+                f"probe delay must be >= 0 cycles, got "
+                f"{probe_delay_cycles}")
+        if probe_delay_cycles > 0 and engine is None:
+            raise ConfigError(
+                "a stale balancer (probe_delay_cycles > 0) needs the "
+                "engine to timestamp its probe snapshots")
         self.nodes = list(nodes)
         self.policy = policy
         self.rng = rng
+        self.probe_delay_cycles = probe_delay_cycles
+        self.engine = engine
+        self.probes = 0               # snapshot refreshes taken
         self.picks = 0
         self._rr_next = 0
+        self._probe_cache: Dict[int, int] = {}
+        self._probe_time: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _load(self, node: ClusterNode) -> int:
+        """The load signal jsq/p2c route on: exact, or a cached probe
+        snapshot no older than ``probe_delay_cycles``."""
+        if self.probe_delay_cycles == 0:
+            return node.in_flight()
+        now = self.engine.now
+        if (self._probe_time is None
+                or now - self._probe_time >= self.probe_delay_cycles):
+            self._probe_cache = {n.node_id: n.in_flight()
+                                 for n in self.nodes}
+            self._probe_time = now
+            self.probes += 1
+        return self._probe_cache[node.node_id]
 
     # ------------------------------------------------------------------
     def pick(self, exclude: Tuple[ClusterNode, ...] = ()) -> ClusterNode:
@@ -67,14 +101,14 @@ class LoadBalancer:
             return self._pick_rr(candidates)
         if self.policy == "jsq":
             return min(candidates,
-                       key=lambda n: (n.in_flight(), n.node_id))
+                       key=lambda n: (self._load(n), n.node_id))
         # p2c: two distinct probes when possible, less loaded wins,
         # lower id on ties (deterministic)
         if len(candidates) == 1:
             return candidates[0]
         first, second = self.rng.sample(candidates, 2)
-        if (second.in_flight(), second.node_id) \
-                < (first.in_flight(), first.node_id):
+        if (self._load(second), second.node_id) \
+                < (self._load(first), first.node_id):
             return second
         return first
 

@@ -1,8 +1,12 @@
 """One machine of the simulated datacenter.
 
-A :class:`ClusterNode` wraps an :class:`~repro.distributed.rpc.RpcServerModel`
-(hw-threads, sw-threads, or event-loop -- the per-node design is the
-experiment variable) and adds what the cluster layer needs on top:
+A :class:`ClusterNode` wraps a server backend -- any implementation of
+the :class:`~repro.backends.base.ServerBackend` protocol, selected by
+name from the string-keyed registry (``"model"`` for the behavioral
+:class:`~repro.distributed.rpc.RpcServerModel`, ``"isa"`` for the full
+ISA-level machine) and serving one design (hw-threads, sw-threads, or
+event-loop -- the per-node design is the experiment variable) -- and
+adds what the cluster layer needs on top:
 
 - admission control with a bounded in-flight limit (``queue_limit``),
   so overload sheds load instead of queueing unboundedly;
@@ -20,7 +24,8 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from repro.arch.costs import CostModel
-from repro.distributed.rpc import RpcServerModel, ServerDesign
+from repro.backends import create_backend
+from repro.distributed.rpc import ServerDesign
 from repro.errors import ConfigError
 from repro.obs.timeline import ThreadState
 from repro.sim.engine import Engine
@@ -33,7 +38,8 @@ class ClusterNode:
     def __init__(self, engine: Engine, node_id: int, design: ServerDesign,
                  costs: Optional[CostModel] = None, cores: int = 1,
                  queue_limit: Optional[int] = None,
-                 resident_threads: Optional[int] = None):
+                 resident_threads: Optional[int] = None,
+                 backend: str = "model"):
         if node_id < 0:
             raise ConfigError(f"node id must be >= 0, got {node_id}")
         if queue_limit is not None and queue_limit < 1:
@@ -43,10 +49,11 @@ class ClusterNode:
         self.node_id = node_id
         self.name = f"node{node_id}"
         self.queue_limit = queue_limit
+        self.backend_name = backend
         # a datacenter node keeps a thread-per-connection worker pool
         # resident; the caller sizes it to the node's fan-in
-        self.server = RpcServerModel(
-            engine, design, costs, cores=cores,
+        self.server = create_backend(
+            backend, engine, design, costs=costs, cores=cores,
             resident_threads=resident_threads)
         self.tracer = Tracer(engine)
         self.admitted = 0

@@ -18,10 +18,11 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional
 
 from repro.arch.costs import CostModel
+from repro.backends import backend_names
 from repro.cluster.balancer import LoadBalancer
 from repro.cluster.fabric import Fabric, LinkSpec
 from repro.cluster.node import ClusterNode
-from repro.cluster.service import ClusterService
+from repro.cluster.service import CLIENT, ClusterService
 from repro.distributed.rpc import (
     EVENT_LOOP,
     HW_THREADS,
@@ -36,6 +37,19 @@ from repro.workloads.service import Exponential, ServiceDistribution
 
 #: Server designs by name, for the CLI and experiment sweeps.
 DESIGNS = {d.name: d for d in (HW_THREADS, SW_THREADS, EVENT_LOOP)}
+
+#: Shard placement policies (see :func:`build_cluster`).
+PLACEMENTS = ("any", "same-rack")
+
+
+def get_design(name: str) -> ServerDesign:
+    """Look up a server design by name; actionable error on a miss."""
+    design = DESIGNS.get(name)
+    if design is None:
+        raise ConfigError(
+            f"unknown server design {name!r}; known designs: "
+            f"{', '.join(DESIGNS)}")
+    return design
 
 
 @dataclass(frozen=True)
@@ -57,6 +71,11 @@ class ClusterConfig:
     threads_per_peer: int = 4       # worker-pool size per cluster peer
     link: LinkSpec = LinkSpec()
     horizon_factor: float = 8.0     # run horizon in mean-gap multiples
+    backend: str = "model"          # server backend: "model" | "isa"
+    probe_delay_cycles: int = 0     # jsq/p2c load-signal staleness
+    racks: int = 1                  # nodes are striped node_id % racks
+    cross_rack_link: Optional[LinkSpec] = None  # client<->other racks
+    placement: str = "any"          # "any" | "same-rack" shard placement
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -72,18 +91,51 @@ class ClusterConfig:
         if self.threads_per_peer < 0:
             raise ConfigError(
                 f"threads_per_peer must be >= 0, got {self.threads_per_peer}")
+        if self.backend not in backend_names():
+            raise ConfigError(
+                f"unknown server backend {self.backend!r}; known "
+                f"backends: {', '.join(backend_names())}")
+        if self.probe_delay_cycles < 0:
+            raise ConfigError(
+                f"probe delay must be >= 0 cycles, got "
+                f"{self.probe_delay_cycles}")
+        if self.racks < 1:
+            raise ConfigError(f"need at least one rack, got {self.racks}")
+        if self.racks > self.nodes:
+            raise ConfigError(
+                f"{self.racks} racks need at least as many nodes, "
+                f"got {self.nodes}")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(
+                f"unknown placement {self.placement!r}; known: "
+                f"{', '.join(PLACEMENTS)}")
 
     def label(self) -> str:
-        """Stable stream-name prefix for this configuration."""
+        """Stable stream-name prefix for this configuration.
+
+        Non-default fidelity/topology knobs append suffixes so new
+        configurations get fresh streams, while every pre-existing
+        configuration keeps its exact historical label (byte-identical
+        tables across the backend refactor).
+        """
+        extra = ""
+        if self.backend != "model":
+            extra += f".{self.backend}"
+        if self.probe_delay_cycles:
+            extra += f".pd{self.probe_delay_cycles}"
+        if self.racks > 1:
+            extra += f".r{self.racks}.{self.placement}"
         return (f"cluster.n{self.nodes}.{self.design.name}.{self.policy}"
-                f".f{self.fanout}.l{self.load}")
+                f".f{self.fanout}.l{self.load}{extra}")
 
     def workload_label(self) -> str:
         """Stream prefix for the *offered workload* -- deliberately
-        independent of the server design, so hw-threads and sw-threads
-        clusters face identical arrival times and service draws (common
-        random numbers: design comparisons measure the design, not the
-        sampling noise)."""
+        independent of the server design, the backend fidelity level,
+        the probe delay, and the placement policy, so hw-threads and
+        sw-threads clusters -- and behavioral-model and ISA-level
+        clusters -- face identical arrival times and service draws
+        (common random numbers: comparisons measure the design or the
+        backend, not the sampling noise)."""
         return (f"cluster.n{self.nodes}.{self.policy}"
                 f".f{self.fanout}.l{self.load}")
 
@@ -127,12 +179,28 @@ def build_cluster(config: ClusterConfig, streams: RngStreams,
     nodes = [ClusterNode(engine, node_id, config.design, costs,
                          cores=config.cores_per_node,
                          queue_limit=config.queue_limit,
-                         resident_threads=resident)
+                         resident_threads=resident,
+                         backend=config.backend)
              for node_id in range(config.nodes)]
-    balancer = LoadBalancer(nodes, config.policy,
-                            rng=streams.stream(f"{label}.lb"))
+    # "same-rack" placement keeps shards in the client's rack (rack 0,
+    # node_id % racks == 0); "any" spreads over the whole cluster
+    if config.placement == "same-rack":
+        eligible = [n for n in nodes if n.node_id % config.racks == 0]
+    else:
+        eligible = nodes
+    balancer = LoadBalancer(eligible, config.policy,
+                            rng=streams.stream(f"{label}.lb"),
+                            probe_delay_cycles=config.probe_delay_cycles,
+                            engine=engine)
     fabric = Fabric(engine, streams.stream(f"{label}.net"),
                     default_link=config.link)
+    if config.cross_rack_link is not None:
+        # heterogeneous topology: the client sits in rack 0, so links
+        # to and from every other rack pay the cross-rack spec
+        for node in nodes:
+            if node.node_id % config.racks != 0:
+                fabric.set_link(CLIENT, node.name, config.cross_rack_link)
+                fabric.set_link(node.name, CLIENT, config.cross_rack_link)
     return ClusterService(engine, nodes, balancer, fabric,
                           fanout=config.fanout, segments=config.segments,
                           rtt_cycles=config.rtt_cycles,

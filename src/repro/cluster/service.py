@@ -292,6 +292,23 @@ class ClusterService:
         registry.inc(f"{prefix}.rejected", self.rejected)
         registry.inc(f"{prefix}.late_responses", self.late_responses)
         registry.set(f"{prefix}.in_flight", self.in_flight)
+        # the full conservation audit, gauge-per-field, so dashboards
+        # reading only the snapshot can re-run every check (booleans as
+        # 0/1 gauges -- the snapshot round-trips the whole dict)
+        audit = self.conservation()
+        base = f"{prefix}.conservation"
+        for key in ("ok", "nodes_ok", "attempts_ok", "completions_ok",
+                    "requests_ok"):
+            registry.set(f"{base}.{key}", int(audit[key]))
+        for key in ("attempts", "issued", "completed", "dropped",
+                    "in_flight", "node_in_flight"):
+            registry.set(f"{base}.{key}", audit[key])
+        for entry in audit["per_node"]:
+            node_base = f"{base}.{entry['node']}"
+            registry.set(f"{node_base}.admitted", entry["admitted"])
+            registry.set(f"{node_base}.completed", entry["completed"])
+            registry.set(f"{node_base}.in_flight", entry["in_flight"])
+            registry.set(f"{node_base}.ok", int(entry["ok"]))
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<ClusterService fanout={self.fanout}"

@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E01-E14.
+"""The evaluation harness: experiments E01-E15.
 
 The paper is a HotOS vision paper with one table (the example TDT) and
 no measured figures; its evaluation surface is the set of quantitative
@@ -40,6 +40,7 @@ from repro.experiments import (  # noqa: E402  (registration imports)
     e12_scheduling,
     e13_cache_warmup,
     e14_cluster,
+    e15_backend_agreement,
 )
 
 __all__ = [

@@ -1,0 +1,169 @@
+"""E15: backend agreement -- behavioral model vs ISA machine, at scale.
+
+The E02-style two-layer check, lifted from one server to a cluster:
+small clusters run the *same* workload (common random numbers -- the
+arrival, service, placement, and network streams are keyed off the
+design- and backend-independent ``workload_label``) once per server
+backend:
+
+- ``"model"`` -- the behavioral :class:`~repro.distributed.rpc.
+  RpcServerModel` every cluster experiment uses;
+- ``"isa"`` -- :class:`~repro.backends.machine.MachineBackend`: each
+  node is a full ISA-level machine executing thread-per-request
+  assembly with monitor/mwait blocking on remote calls.
+
+If the cost model is honest, per-design p50/p99 agree across the
+fidelity jump and the paper's headline ordering -- the sw-threads
+transition tax inflates the tail that hw-threads avoids -- survives it.
+Load is kept low so latency is dominated by service + RTT + network
+draws (identical across backends), making any modeling error stand out
+directly rather than be laundered through queueing amplification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import ExperimentResult, Verdict
+from repro.analysis.tables import Table
+from repro.cluster import ClusterConfig, DESIGNS, run_cluster
+from repro.experiments.registry import register
+
+#: The designs compared, in reporting order.
+DESIGN_NAMES = ("hw-threads", "sw-threads", "event-loop")
+#: Both fidelity levels of the same server contract.
+BACKEND_NAMES = ("model", "isa")
+
+MEAN_SERVICE = 4_000        # ~1.3 us at 3 GHz: a microsecond-scale RPC
+SEGMENTS = 2                # one remote call mid-request
+RTT = 20_000                # ~6.7 us network round trip
+LOAD = 0.06                 # low load: latency, not queueing, dominates
+POLICY = "round-robin"      # deterministic placement
+THREADS_PER_PEER = 4        # fan-in worker pool (the sw crowding term)
+
+#: Agreement bar for the fidelity jump, matching E02's spirit but
+#: tighter: cluster latency is dominated by shared draws, so the
+#: backends must land within 2x of each other on every quantile.
+AGREEMENT_FACTOR = 2.0
+
+
+def _config(nodes: int, design_name: str, backend: str,
+            requests: int) -> ClusterConfig:
+    return ClusterConfig(
+        nodes=nodes, design=DESIGNS[design_name], policy=POLICY,
+        fanout=1, load=LOAD, mean_service_cycles=MEAN_SERVICE,
+        segments=SEGMENTS, rtt_cycles=RTT, requests=requests,
+        threads_per_peer=THREADS_PER_PEER, backend=backend)
+
+
+def _cell(nodes: int, design_name: str, backend: str, requests: int,
+          seed: int) -> Dict[str, float]:
+    result = run_cluster(_config(nodes, design_name, backend, requests),
+                         seed=seed)
+    summary = result.summary
+    return {"p50": summary["p50"], "p99": summary["p99"],
+            "completed": summary["completed"],
+            "conserved": summary["conserved"]}
+
+
+def _ratio(isa: float, model: float) -> float:
+    return isa / model if model else float("inf")
+
+
+@register("E15", "Backend agreement: behavioral model vs ISA machine "
+                 "at cluster scale",
+          'Section 2 + Section 4 ("Simpler Distributed Programming")')
+def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
+    node_counts: Tuple[int, ...] = (2,) if quick else (2, 4)
+    requests = 30 if quick else 100
+    result = ExperimentResult(
+        "E15", "Backend agreement: behavioral model vs ISA machine "
+               "at cluster scale")
+
+    cells: Dict[int, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    for nodes in node_counts:
+        cells[nodes] = {}
+        for design_name in DESIGN_NAMES:
+            cells[nodes][design_name] = {
+                backend: _cell(nodes, design_name, backend, requests,
+                               seed)
+                for backend in BACKEND_NAMES}
+
+    # -- table 1: per-design quantiles, model vs ISA ------------------
+    agreement = Table(
+        ["nodes", "design", "model p50", "isa p50", "model p99",
+         "isa p99", "p99 isa/model"],
+        title="Backend agreement: same workload, both fidelity levels")
+    deviations: List[float] = []
+    for nodes in node_counts:
+        for design_name in DESIGN_NAMES:
+            model = cells[nodes][design_name]["model"]
+            isa = cells[nodes][design_name]["isa"]
+            ratio = _ratio(isa["p99"], model["p99"])
+            deviations.append(max(ratio, 1.0 / ratio))
+            agreement.add_row(nodes, design_name,
+                              round(model["p50"]), round(isa["p50"]),
+                              round(model["p99"]), round(isa["p99"]),
+                              f"{ratio:.3f}x")
+    result.add_table(agreement)
+
+    # -- table 2: does the headline ordering survive the jump? --------
+    ordering = Table(
+        ["nodes", "sw/hw p99 (model)", "sw/hw p99 (isa)",
+         "ordering agrees"],
+        title="The transition-tax ordering across the fidelity jump")
+    sw_hw: Dict[str, List[float]] = {b: [] for b in BACKEND_NAMES}
+    for nodes in node_counts:
+        row = {}
+        for backend in BACKEND_NAMES:
+            hw = cells[nodes]["hw-threads"][backend]["p99"]
+            sw = cells[nodes]["sw-threads"][backend]["p99"]
+            row[backend] = _ratio(sw, hw)
+            sw_hw[backend].append(row[backend])
+        ordering.add_row(nodes, f"{row['model']:.2f}x",
+                         f"{row['isa']:.2f}x",
+                         (row["model"] > 1.0) == (row["isa"] > 1.0))
+    result.add_table(ordering)
+
+    result.data["node_counts"] = list(node_counts)
+    result.data["designs"] = list(DESIGN_NAMES)
+    result.data["backends"] = list(BACKEND_NAMES)
+    result.data["cells"] = cells
+    result.data["worst_p99_deviation"] = max(deviations)
+    result.data["sw_hw_ratios"] = sw_hw
+
+    # -- claims -------------------------------------------------------
+    worst = max(deviations)
+    result.add_claim(
+        "the cost model matches the ISA-level machine, at cluster scale",
+        f"per-design cluster p99 within {AGREEMENT_FACTOR:.0f}x across "
+        f"the fidelity jump",
+        f"worst p99 deviation {worst:.3f}x over "
+        f"{len(deviations)} (nodes, design) cells",
+        Verdict.SUPPORTED if worst <= AGREEMENT_FACTOR
+        else Verdict.PARTIAL)
+
+    ordering_holds = all(
+        ratio > 1.0 for backend in BACKEND_NAMES
+        for ratio in sw_hw[backend])
+    result.add_claim(
+        "the sw-threads transition tax survives the fidelity jump",
+        "sw/hw tail ordering identical whether costs are modeled or "
+        "executed",
+        f"sw/hw p99 model {min(sw_hw['model']):.2f}-"
+        f"{max(sw_hw['model']):.2f}x, "
+        f"isa {min(sw_hw['isa']):.2f}-{max(sw_hw['isa']):.2f}x",
+        Verdict.SUPPORTED if ordering_holds else Verdict.PARTIAL)
+
+    all_conserved = all(
+        cells[n][d][b]["conserved"] and cells[n][d][b]["completed"] > 0
+        for n in node_counts for d in DESIGN_NAMES
+        for b in BACKEND_NAMES)
+    result.add_claim(
+        "conservation holds on every backend",
+        "admitted == completed + in-flight on behavioral and ISA nodes "
+        "alike",
+        f"all {len(node_counts) * len(DESIGN_NAMES) * len(BACKEND_NAMES)}"
+        f" runs conserved with completions",
+        Verdict.SUPPORTED if all_conserved else Verdict.REFUTED)
+    return result

@@ -1,4 +1,4 @@
-"""Parallel experiment runner: fan E01-E14 across worker processes.
+"""Parallel experiment runner: fan E01-E15 across worker processes.
 
 Every experiment builds its own :class:`~repro.machine.Machine` (or raw
 :class:`~repro.sim.engine.Engine`) from a fixed seed and shares no

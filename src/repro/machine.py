@@ -74,10 +74,14 @@ class MachineConfig:
 class Machine:
     """A complete simulated system implementing the proposal."""
 
-    def __init__(self, config: MachineConfig):
+    def __init__(self, config: MachineConfig,
+                 engine: Optional[Engine] = None):
         config.validate()
         self.config = config
-        self.engine = Engine()
+        # an injected engine puts this machine on a caller-shared
+        # timeline -- how the cluster layer runs one ISA-level machine
+        # per node inside a single simulation
+        self.engine = engine if engine is not None else Engine()
         self.clock = Clock(config.freq_ghz)
         self.tracer = Tracer(self.engine, enabled=config.trace)
         self.rngs = RngStreams(config.seed)
@@ -259,9 +263,14 @@ class Machine:
 
 
 def build_machine(cores: int = 1, hw_threads_per_core: int = 64,
+                  engine: Optional[Engine] = None,
                   **overrides) -> Machine:
-    """Build a machine with keyword overrides for any config field."""
+    """Build a machine with keyword overrides for any config field.
+
+    ``engine`` (optional) shares a caller-owned event engine instead of
+    creating a private one.
+    """
     config = MachineConfig(cores=cores,
                            hw_threads_per_core=hw_threads_per_core,
                            **overrides)
-    return Machine(config)
+    return Machine(config, engine=engine)

@@ -58,7 +58,10 @@ NAMESPACE = {
     "dev": "devices (NIC packet counters)",
     "trace": "compat shim for legacy Tracer.count counters",
     "cluster.service{N}": "cluster front-end: request/attempt/hedge "
-                          "counters and the end-to-end latency histogram",
+                          "counters, the end-to-end latency histogram, "
+                          "and the full conservation audit "
+                          "(``conservation.*`` gauges, one per audit "
+                          "field, booleans as 0/1)",
     "cluster.node{N}": "per-node admission/completion/busy counters and "
                        "in-flight gauge",
     "cluster.fabric{N}": "network fabric sends, drops, and delay cycles",

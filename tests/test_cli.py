@@ -9,7 +9,7 @@ class TestList:
     def test_lists_all_experiments(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 15):
+        for i in range(1, 16):
             assert f"E{i:02d}" in out
 
     def test_anchors_shown(self, capsys):
@@ -63,7 +63,7 @@ class TestCluster:
 
     def test_unknown_design_fails(self, capsys):
         assert main(["cluster", "--design", "fibers"]) == 2
-        assert "unknown design" in capsys.readouterr().err
+        assert "unknown server design" in capsys.readouterr().err
 
     def test_json_output_parseable(self, capsys):
         import json

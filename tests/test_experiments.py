@@ -12,7 +12,7 @@ from repro.experiments.registry import register
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [e.experiment_id for e in all_experiments()]
-        assert ids == [f"E{i:02d}" for i in range(1, 15)]
+        assert ids == [f"E{i:02d}" for i in range(1, 16)]
 
     def test_lookup_by_id(self):
         exp = get_experiment("E05")
@@ -222,3 +222,25 @@ class TestE14Shape:
         hedge = results["E14"].series("hedge")
         assert hedge["on"]["dropped"] < hedge["off"]["dropped"]
         assert hedge["on"]["hedges"] > 0
+
+
+class TestE15Shape:
+    def test_backends_agree_within_2x(self, results):
+        assert results["E15"].series("worst_p99_deviation") <= 2.0
+
+    def test_every_cell_ran_both_backends(self, results):
+        cells = results["E15"].series("cells")
+        for nodes in results["E15"].series("node_counts"):
+            for design in results["E15"].series("designs"):
+                for backend in ("model", "isa"):
+                    cell = cells[nodes][design][backend]
+                    assert cell["completed"] > 0
+                    assert cell["conserved"]
+
+    def test_sw_tax_ordering_survives_the_jump(self, results):
+        ratios = results["E15"].series("sw_hw_ratios")
+        assert all(r > 1.0 for r in ratios["model"])
+        assert all(r > 1.0 for r in ratios["isa"])
+
+    def test_all_claims_supported(self, results):
+        assert results["E15"].all_supported()
