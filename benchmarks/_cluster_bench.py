@@ -1,0 +1,75 @@
+"""Shared plumbing for the cluster benchmark scripts.
+
+``bench_e14_cluster.py`` and ``bench_e15_backends.py`` both double as
+standalone scripts that record wall-clock and events/sec numbers --
+per engine-queue mode (wheel default, heap reference) -- into
+``BENCH_cluster.json`` at the repo root. The committed file is the
+baseline the CI bench-smoke job compares fresh measurements against.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_cluster.json"
+
+QUEUE_MODES = ("wheel", "heap")
+
+
+def timed_cluster_run(run_fn, repeats: int = 3) -> dict:
+    """Best-of-N wall-clock of one ``run_cluster`` workload, with the
+    engine's dispatched-event count turned into events/sec."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result.engine.events_processed)
+    seconds, events = best
+    return {
+        "seconds": round(seconds, 4),
+        "events": events,
+        "events_per_sec": round(events / seconds),
+    }
+
+
+def timed_experiment(experiment_id: str, quick: bool) -> dict:
+    from repro.experiments import get_experiment
+
+    experiment = get_experiment(experiment_id)
+    start = time.perf_counter()
+    experiment.run(quick=quick)
+    return {"quick": quick,
+            "seconds": round(time.perf_counter() - start, 2)}
+
+
+def per_queue_mode(measure) -> dict:
+    """Run ``measure()`` once per engine backing store and key the
+    results by mode. Restores the environment afterwards."""
+    prior = os.environ.get("REPRO_ENGINE_QUEUE")
+    out = {}
+    try:
+        for mode in QUEUE_MODES:
+            os.environ["REPRO_ENGINE_QUEUE"] = mode
+            out[mode] = measure()
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_ENGINE_QUEUE", None)
+        else:
+            os.environ["REPRO_ENGINE_QUEUE"] = prior
+    return out
+
+
+def update_section(section: str, payload: dict) -> None:
+    """Read-merge-write one experiment's section of BENCH_cluster.json
+    so the two scripts can be run in either order."""
+    data = {}
+    if OUTPUT.exists():
+        data = json.loads(OUTPUT.read_text())
+    data[section] = payload
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
+    print(json.dumps({section: payload}, indent=2))
+    print(f"\nwrote {OUTPUT}")

@@ -1,4 +1,12 @@
-"""E14 bench: the cluster experiment + cluster-run micro-benchmarks."""
+"""E14 bench: the cluster experiment + cluster-run micro-benchmarks.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_e14_cluster.py``)
+to record the E14 wall-clock and a cluster-run events/sec number per
+engine-queue mode into ``BENCH_cluster.json``; pass ``--quick`` to skip
+the full-mode experiment timing.
+"""
+
+import sys
 
 from repro.cluster import ClusterConfig, DESIGNS, run_cluster
 
@@ -57,3 +65,35 @@ def test_staleness_vs_p99():
         assert summary["conserved"], f"probe_delay={delay}"
         assert summary["completed"] == 300
     assert rows[200_000]["p99"] > rows[0]["p99"]
+
+
+def micro_bench() -> dict:
+    """The representative cluster run the CI smoke job regresses on:
+    the sw-threads design (the PS-heaviest path) at moderate scale."""
+    from benchmarks._cluster_bench import timed_cluster_run
+
+    return timed_cluster_run(lambda: _run("sw-threads", nodes=8, fanout=4))
+
+
+def main(quick_only: bool) -> None:
+    from benchmarks import _cluster_bench as cb
+
+    payload = {
+        # the pre-PR timer-wheel/lazy-deadline baseline: E14 full-mode
+        # wall-clock on this container before the engine rework
+        "pre_rework_full_seconds": 62.07,
+        "modes": cb.per_queue_mode(lambda: {
+            "cluster_run": micro_bench(),
+            "experiment": (
+                [cb.timed_experiment("E14", quick=True)] if quick_only else
+                [cb.timed_experiment("E14", quick=True),
+                 cb.timed_experiment("E14", quick=False)]),
+        }),
+    }
+    cb.update_section("e14", payload)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__)
+                           .resolve().parent.parent))
+    main(quick_only="--quick" in sys.argv[1:])

@@ -1,4 +1,12 @@
-"""E15 bench: backend agreement + the ISA-backend cluster micro-bench."""
+"""E15 bench: backend agreement + the ISA-backend cluster micro-bench.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_e15_backends.py``)
+to record the E15 wall-clock and an ISA-cluster events/sec number per
+engine-queue mode into ``BENCH_cluster.json``; pass ``--quick`` to skip
+the full-mode experiment timing.
+"""
+
+import sys
 
 from repro.cluster import ClusterConfig, DESIGNS, run_cluster
 
@@ -31,3 +39,34 @@ def test_bench_isa_cluster(benchmark):
     result = benchmark(_run, "isa")
     assert result.summary["completed"] == 60
     assert result.summary["conserved"]
+
+def micro_bench() -> dict:
+    """The ISA-backend cluster run (every node a simulated machine):
+    the path the busy-cycle fast-forward keeps viable."""
+    from benchmarks._cluster_bench import timed_cluster_run
+
+    return timed_cluster_run(lambda: _run("isa"))
+
+
+def main(quick_only: bool) -> None:
+    from benchmarks import _cluster_bench as cb
+
+    payload = {
+        # pre-rework E15 full-mode wall-clock (heap engine, naive
+        # per-cycle ISA stepping on the machine-backend nodes)
+        "pre_rework_full_seconds": 8.13,
+        "modes": cb.per_queue_mode(lambda: {
+            "cluster_run": micro_bench(),
+            "experiment": (
+                [cb.timed_experiment("E15", quick=True)] if quick_only else
+                [cb.timed_experiment("E15", quick=True),
+                 cb.timed_experiment("E15", quick=False)]),
+        }),
+    }
+    cb.update_section("e15", payload)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__)
+                           .resolve().parent.parent))
+    main(quick_only="--quick" in sys.argv[1:])

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""CI bench-smoke: quick engine + cluster benchmarks vs committed baselines.
+
+Re-measures the cheap throughput numbers -- raw engine dispatch
+(``BENCH_engine.json``) and the two cluster micro-runs per engine-queue
+mode (``BENCH_cluster.json``) -- and fails if any events/sec figure
+regresses more than ``TOLERANCE_PCT`` below its committed baseline.
+Wall-clock entries are informational; only events/sec is gated, since
+it is the one metric that tracks the engine hot path rather than the
+container's mood.
+
+Run:  PYTHONPATH=src python benchmarks/bench_smoke.py
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+
+TOLERANCE_PCT = 25.0
+
+
+def check(label: str, baseline: int, measured: int, failures: list) -> None:
+    drop = 100.0 * (1 - measured / baseline)
+    status = "ok" if drop <= TOLERANCE_PCT else "REGRESSED"
+    print(f"{label:42s} baseline {baseline:>10,}  "
+          f"measured {measured:>10,}  drop {drop:6.1f}%  {status}")
+    if drop > TOLERANCE_PCT:
+        failures.append(label)
+
+
+def main() -> int:
+    from benchmarks import _cluster_bench as cb
+    from benchmarks.bench_engine_throughput import bench_engine_dispatch
+    import benchmarks.bench_e14_cluster as e14
+    import benchmarks.bench_e15_backends as e15
+
+    engine_base = json.loads((ROOT / "BENCH_engine.json").read_text())
+    cluster_base = json.loads(cb.OUTPUT.read_text())
+    failures: list = []
+
+    # best-of-3 to keep CI noise out of the comparison
+    measured = max(bench_engine_dispatch()["events_per_sec"]
+                   for _ in range(3))
+    check("engine.dispatch", engine_base["engine"]["events_per_sec"],
+          measured, failures)
+
+    for section, module in (("e14", e14), ("e15", e15)):
+        for mode, cell in cluster_base[section]["modes"].items():
+            os.environ["REPRO_ENGINE_QUEUE"] = mode
+            fresh = module.micro_bench()
+            check(f"{section}.cluster_run[{mode}]",
+                  cell["cluster_run"]["events_per_sec"],
+                  fresh["events_per_sec"], failures)
+    os.environ.pop("REPRO_ENGINE_QUEUE", None)
+
+    if failures:
+        print(f"\nevents/sec regression >{TOLERANCE_PCT}% in: "
+              + ", ".join(failures))
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

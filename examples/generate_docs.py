@@ -122,22 +122,28 @@ def experiments_markdown() -> str:
         "## Fast-forward invariants",
         "",
         "The simulator skips busy cycles instead of stepping them",
-        "(`HWCore._fast_forward`): when every issueable hardware thread",
-        "is mid-`work`, the core advances the clock in one jump, capped",
-        "by the earliest of (a) a work burst ending, (b) a busy thread",
-        "re-joining the issue pool, (c) the next pending engine event,",
-        "and (d) the `run(until=...)` horizon. Under slot contention the",
+        "(`HWCore._plan_fast_forward`/`_apply_fast_forward`): when every",
+        "issueable hardware thread is mid-`work`, the core advances the",
+        "clock in one jump, capped by the earliest of (a) a work burst",
+        "ending, (b) a busy thread re-joining the issue pool, (c) the",
+        "next pending *foreign* engine event (other cores' per-cycle",
+        "resumes live in the engine's step lane and do not count), and",
+        "(d) the `run(until=...)` horizon. Under slot contention the",
         "jump is restricted to whole round-robin rotations, which pick",
         "every thread the same number of times and leave the rotation",
-        "pointer unchanged. The batch replays per-round accounting",
-        "exactly -- retired instructions, per-thread busy cycles, issue",
-        "rounds, storage recency order, policy virtual time, trace",
-        "stream, and the final clock are identical to naive stepping;",
-        "only `events_processed` drops (that is the point). Set",
-        "`REPRO_NO_FASTFORWARD=1` (or `MachineConfig.fast_forward=False`)",
-        "to force naive stepping; `tests/test_fastforward_equivalence.py`",
-        "diffs the two modes on contended SMT workloads with monitors,",
-        "DMA wakeups, and exceptions.",
+        "pointer unchanged. When another component could wake mid-jump",
+        "(multi-core machines, cluster nodes), the batch is armed as an",
+        "interruptible sleep on the core's wake signal and re-planned at",
+        "whatever point it actually resumed. The batch replays per-round",
+        "accounting exactly -- retired instructions, per-thread busy",
+        "cycles, issue rounds, storage recency order, policy virtual",
+        "time, trace stream, and the final clock are identical to naive",
+        "stepping; only `events_processed` drops (that is the point).",
+        "Set `REPRO_NO_FASTFORWARD=1` (or",
+        "`MachineConfig.fast_forward=False`) to force naive stepping;",
+        "`tests/test_fastforward_equivalence.py` diffs the two modes on",
+        "contended SMT workloads with monitors, DMA wakeups, exceptions,",
+        "and cross-core stores that land mid-batch.",
         "",
     ]
     return "\n".join(lines)
@@ -485,8 +491,110 @@ def backends_markdown() -> str:
     return "\n".join(lines)
 
 
+def engine_markdown() -> str:
+    from repro.kernel.sched import ProcessorSharingServer
+    from repro.sim.engine import (
+        _COMPACT_MIN_BUCKET,
+        _COMPACT_MIN_QUEUE,
+        DEFAULT_QUEUE,
+        QUEUE_ENV,
+    )
+
+    lines = [
+        "# The discrete-event engine",
+        "",
+        "One engine drives everything -- behavioral queueing models,",
+        "ISA machines, and whole clusters share a single event queue",
+        "with deterministic `(time, insertion-seq)` dispatch order.",
+        "The public surface is `at`/`after` (returning a cancellable",
+        "`ScheduledCall`), `run`/`run_until_idle`/`step`, and",
+        "`next_event_time`.",
+        "",
+        "## Two backing stores: wheel vs heap",
+        "",
+        "The engine has two interchangeable backing stores behind that",
+        "API, selected at construction:",
+        "",
+        "- **wheel** (`WheelEngine`, the default): a calendar queue.",
+        "  Events live in per-timestamp buckets (append order *is* seq",
+        "  order) with a heap over the distinct timestamps; dispatch",
+        "  walks the earliest bucket by cursor, so same-time events",
+        "  scheduled by callbacks are picked up in order without any",
+        "  re-heapification. Cancellation is O(1) tombstoning: the",
+        "  bucket keeps a dead counter, compacts itself once more than",
+        f"  half of at least {_COMPACT_MIN_BUCKET} entries are dead, and",
+        "  a fully-cancelled bucket is freed immediately (its timestamp",
+        "  goes stale in the heap and is skipped on pop). The unbounded",
+        "  and horizon-bounded drains are inlined -- one bucket walk per",
+        "  event, no per-event function call -- which is where the",
+        "  cluster experiments spend their lives.",
+        "- **heap** (`HeapEngine`, the reference): one binary heap of",
+        "  `(time, seq, call)` with lazy compaction once cancelled",
+        "  entries outnumber live ones (and the queue is at least",
+        f"  {_COMPACT_MIN_QUEUE} long). Simpler to audit; kept as the",
+        "  cross-check implementation.",
+        "",
+        "Both stores dispatch in exactly the same global order, so",
+        "**every experiment table is byte-identical under either** --",
+        "`tests/test_experiments.py::TestEngineQueueIdentity` and the",
+        "parametrized serial/parallel identity test enforce that on the",
+        "queueing-heavy experiments (E09/E14/E15). On the cluster",
+        "workloads the two are within a few percent of each other; the",
+        "wheel's structural win is O(1) cancellation and bucket-local",
+        "same-timestamp handling, the heap's is simplicity. Switch with",
+        f"`EngineConfig(queue=...)` or the `{QUEUE_ENV}` environment",
+        f"variable (`heap`/`wheel`; default `{DEFAULT_QUEUE}`):",
+        "",
+        "```python",
+        "from repro.sim.engine import Engine, EngineConfig",
+        "",
+        "engine = Engine(EngineConfig(queue='heap'))",
+        "assert engine.queue_kind == 'heap'",
+        "```",
+        "",
+        "## The step lane",
+        "",
+        "ISA cores resume their issue loops every simulated cycle. Those",
+        "resumes are scheduled through `at_step`/`after_step` into a",
+        "separate *step lane* that merges into dispatch by the same",
+        "`(time, seq)` key but is excluded from",
+        "`next_foreign_event_time()` -- the horizon the busy-cycle",
+        "fast-forward jumps to. A core grinding cycle-by-cycle is not an",
+        "external deadline for another core's batch, which is what lets",
+        "multi-machine clusters of ISA backends fast-forward at all",
+        "(docs/backends.md, E15).",
+        "",
+        "## Cancellation-free completions",
+        "",
+        "The timer-heavy client of the engine is the processor-sharing",
+        "server (`kernel/sched.py`). Its completion timer is",
+        "*lazy-deadline*: an arrival can only delay the head job's",
+        "completion, so the armed timer is kept and re-validated when it",
+        "fires -- the common arrival path schedules zero cancels. A",
+        "fired timer pops every job within",
+        f"{ProcessorSharingServer.COMPLETION_EPSILON} virtual cycles of",
+        "the progress accumulator (absorbing integer rounding of the",
+        "deadline, never force-popping an undone job -- a hypothesis",
+        "property test pins this) and re-arms from current state.",
+        "",
+        "## Benchmarks",
+        "",
+        "`benchmarks/bench_engine_throughput.py` writes",
+        "`BENCH_engine.json` (raw dispatch events/sec, core cycles/sec,",
+        "evaluation wall-clock); `benchmarks/bench_e14_cluster.py` and",
+        "`benchmarks/bench_e15_backends.py` write `BENCH_cluster.json`",
+        "(cluster wall-clock and events/sec per engine-queue mode).",
+        "`benchmarks/bench_smoke.py` re-measures the quick numbers in CI",
+        "and fails on a >25% events/sec regression against the",
+        "committed baselines.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 GENERATORS = {
     "isa.md": isa_markdown,
+    "engine.md": engine_markdown,
     "cost-model.md": cost_model_markdown,
     "experiments.md": experiments_markdown,
     "observability.md": observability_markdown,

@@ -47,7 +47,6 @@ from repro.kernel.sched import (
     QueueingServer,
 )
 from repro.sim.engine import Engine
-from repro.sim.process import Signal
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.requests import Request
 from repro.workloads.service import ServiceDistribution
@@ -108,6 +107,64 @@ HW_THREADS = ServerDesign("hw-threads", "ps")
 SW_THREADS = ServerDesign("sw-threads", "ps")
 EVENT_LOOP = ServerDesign("event-loop", "fifo")
 
+
+class _InflightRequest:
+    """One request's segment walk as a callback chain.
+
+    Stands in for the ``done`` signal the queueing server fires on
+    segment completion (it only needs a :meth:`fire` method), so a
+    request costs no generator coroutine, no waiter bookkeeping, and
+    schedules exactly the engine events the coroutine it replaced did:
+    one kick-off at arrival and one RTT timeout between segments.
+    """
+
+    __slots__ = ("model", "segments", "rtt", "on_done", "arrived", "index")
+
+    def __init__(self, model: "RpcServerModel", segments: list, rtt: int,
+                 on_done: Optional[Callable[[], None]]):
+        self.model = model
+        self.segments = segments
+        self.rtt = rtt if rtt > 1 else 1
+        self.on_done = on_done
+        self.arrived = 0
+        self.index = 0
+
+    def start(self) -> None:
+        model = self.model
+        model.active += 1
+        if model.active > model.peak_concurrency:
+            model.peak_concurrency = model.active
+        self.arrived = model.engine._now
+        self._offer_segment()
+
+    def _offer_segment(self) -> None:
+        model = self.model
+        # re-read each segment: the crowding term tracks how many
+        # requests are resident *now*, not at arrival
+        overhead = model.segment_overhead_cycles()
+        seg = int(round(self.segments[self.index]))
+        demand = (seg if seg > 1 else 1) + overhead
+        model._seg_counter += 1
+        model.cpu.offer(Request(
+            req_id=model._seg_counter,
+            arrival_time=float(model.engine._now),
+            service_cycles=demand,
+            payload={"done": self}))
+
+    def fire(self, _request: Optional[Request] = None) -> None:
+        """Segment done (called by the queueing server's completion)."""
+        self.index += 1
+        model = self.model
+        if self.index < len(self.segments):
+            # blocked on the remote call, holding no CPU
+            model.engine.after(self.rtt, self._offer_segment)
+            return
+        model.active -= 1
+        model.completed += 1
+        model.recorder.record(model.engine._now - self.arrived)
+        if self.on_done is not None:
+            self.on_done()
+
 class RpcServerModel:
     """One server instance executing segmented requests.
 
@@ -151,6 +208,9 @@ class RpcServerModel:
         else:
             raise ConfigError(f"unknown discipline {design.discipline!r}")
         self._seg_counter = 0
+        # transition_overhead_cycles is pure in (design, costs, crowd)
+        # and both are fixed per model, so memoize per crowd level
+        self._overhead_cache: dict = {}
 
     # ------------------------------------------------------------------
     def submit(self, request_id: int, segment_cycles: list,
@@ -164,44 +224,24 @@ class RpcServerModel:
         """
         if not segment_cycles:
             raise ConfigError("request needs at least one segment")
-        self.engine.spawn(
-            self._handle(request_id, list(segment_cycles), rtt_cycles,
-                         on_done),
-            name=f"{self.design.name}.req{request_id}")
+        handler = _InflightRequest(self, list(segment_cycles), rtt_cycles,
+                                   on_done)
+        # kick off on the next event boundary at the current time -- the
+        # same interleaving discipline Engine.spawn applied here before
+        # the coroutine-per-request path was retired
+        self.engine.at(self.engine.now, handler.start)
 
     def segment_overhead_cycles(self) -> int:
         """Per-transition overhead at the *current* crowding level."""
         crowd = 0
         if self.resident_threads is not None:
             crowd = self.resident_threads + max(self.active - 1, 0)
-        return self.design.transition_overhead_cycles(self.costs,
-                                                      crowd=crowd)
-
-    def _handle(self, request_id: int, segments: list, rtt: int,
-                on_done: Optional[Callable[[], None]] = None):
-        self.active += 1
-        self.peak_concurrency = max(self.peak_concurrency, self.active)
-        arrived = self.engine.now
-        for index, seg in enumerate(segments):
-            # re-read each segment: the crowding term tracks how many
-            # requests are resident *now*, not at arrival
-            overhead = self.segment_overhead_cycles()
-            demand = max(1, int(round(seg))) + overhead
-            done = Signal("seg.done")
-            self._seg_counter += 1
-            self.cpu.offer(Request(
-                req_id=self._seg_counter,
-                arrival_time=float(self.engine.now),
-                service_cycles=demand,
-                payload={"done": done}))
-            yield done
-            if index < len(segments) - 1:
-                yield max(1, rtt)   # blocked on the remote call, no CPU
-        self.active -= 1
-        self.completed += 1
-        self.recorder.record(self.engine.now - arrived)
-        if on_done is not None:
-            on_done()
+        cached = self._overhead_cache.get(crowd)
+        if cached is None:
+            cached = self.design.transition_overhead_cycles(self.costs,
+                                                            crowd=crowd)
+            self._overhead_cache[crowd] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def cpu_busy_cycles(self) -> int:

@@ -41,7 +41,7 @@ from repro.hw.tdt import Permission, TdtCache, TdtEntry
 from repro.isa.instructions import Instruction, Label, Reg
 from repro.isa.program import Program
 from repro.mem.memory import Memory
-from repro.sim.process import Signal
+from repro.sim.process import AnyOf, Signal
 
 #: Register that carries the presented secret key in the key security model.
 KEY_REGISTER = "r15"
@@ -102,6 +102,11 @@ class HWCore:
         self.instructions_retired = 0
         self.idle_cycles = 0
         self.process = engine.spawn(self._run(), name=f"core{core_id}")
+        # The issue loop's own per-cycle resumes go to the engine's step
+        # lane so they never show up in next_foreign_event_time(): one
+        # core grinding through `yield 1` rounds must not cap every
+        # other core's fast-forward horizon at a single cycle.
+        self.process.step_ints = True
 
     # ==================================================================
     # public API (used by Machine, kernels, and tests)
@@ -158,11 +163,16 @@ class HWCore:
         thread.monitor.cancel()
         thread.make_disabled()
         thread.stops += 1
+        # a stop shrinks the issueable pool: interrupt any in-flight
+        # fast-forward batch so the loop re-plans against the new set
+        self._wake.fire()
 
     def set_priority(self, ptid: int, priority: int) -> None:
         if priority < 1:
             raise ConfigError(f"priority must be >= 1, got {priority}")
         self.thread(ptid).priority = priority
+        # priorities feed the issue order; re-plan any in-flight batch
+        self._wake.fire()
 
     def runnable_count(self) -> int:
         return sum(1 for t in self.threads if t.runnable)
@@ -220,9 +230,22 @@ class HWCore:
                 yield next_free - now
                 continue
             if self.fast_forward_enabled:
-                skipped = self._fast_forward(runnable, issueable, now)
-                if skipped:
-                    yield skipped
+                plan = self._plan_fast_forward(runnable, issueable, now)
+                if plan is not None:
+                    cycles, lazy, contended = plan
+                    if not lazy:
+                        done = self._apply_fast_forward(
+                            issueable, cycles, contended, now)
+                        yield done
+                        continue
+                    # interruptible batch: a step event (another core's
+                    # resume) falls inside the window, so park until the
+                    # timeout or a wake and account whatever elapsed
+                    yield AnyOf((cycles, self._wake))
+                    elapsed = engine.now - now
+                    if elapsed:
+                        self._apply_fast_forward(
+                            issueable, elapsed, contended, now)
                     continue
             picked = self.issue_policy.select(issueable, self.smt_width)
             self.issue_rounds += 1
@@ -263,11 +286,23 @@ class HWCore:
                 profile.settle(engine.now)
                 continue
             if self.fast_forward_enabled:
-                skipped = self._fast_forward(runnable, issueable, now)
-                if skipped:
+                plan = self._plan_fast_forward(runnable, issueable, now)
+                if plan is not None:
+                    cycles, lazy, contended = plan
+                    if not lazy:
+                        done = self._apply_fast_forward(
+                            issueable, cycles, contended, now)
+                        profile.pend("fastforward", now)
+                        yield done
+                        profile.settle(engine.now)
+                        continue
                     profile.pend("fastforward", now)
-                    yield skipped
+                    yield AnyOf((cycles, self._wake))
                     profile.settle(engine.now)
+                    elapsed = engine.now - now
+                    if elapsed:
+                        self._apply_fast_forward(
+                            issueable, elapsed, contended, now)
                     continue
             picked = self.issue_policy.select(issueable, self.smt_width)
             self.issue_rounds += 1
@@ -277,29 +312,33 @@ class HWCore:
             yield 1
             profile.settle(engine.now)
 
-    def _fast_forward(self, thread_list, issueable, now: int) -> int:
-        """Skip ahead over busy-cycle rounds that cannot change anything.
+    def _plan_fast_forward(self, thread_list, issueable, now: int):
+        """Plan a busy-cycle batch that cannot change anything mid-way.
 
         When every issueable thread is mid-``work``, each upcoming round
         only decrements counters -- no instruction fetch, no memory
         traffic, no traces. The issue pattern is then frozen until (a) a
-        burst ends, (b) a busy/starting thread re-joins the pool, (c) an
-        external engine event fires (anything that can wake or stop a
-        thread is an event), or (d) the ``run(until=...)`` horizon, past
-        which our catch-up resume would never be dispatched. Batching up
-        to that horizon replays the exact per-round accounting
-        (``cycles_busy``, ``issue_rounds``, storage recency order,
-        policy state), so a fast-forwarded run is indistinguishable from
-        naive stepping except for ``events_processed``.
+        burst ends, (b) a busy/starting thread re-joins the pool, (c) a
+        foreign engine event fires (anything that can wake or stop a
+        thread is a main-queue event), or (d) the ``run(until=...)``
+        horizon, past which our catch-up resume would never be
+        dispatched. Other cores' per-cycle resumes live in the engine's
+        step lane and do *not* bound the batch; instead, if any step
+        event falls inside the window the batch is *interruptible*
+        (``lazy``): the caller parks on ``AnyOf([cycles, self._wake])``
+        and the accounting is applied at resume time for however many
+        rounds actually elapsed. Every path that mutates this core's
+        thread pool from outside fires ``self._wake``, so a lazy batch
+        can never sleep through a state change.
 
-        Returns the number of cycles consumed (the caller yields it), or
-        0 when no safe batch exists and the round must issue naively.
+        Returns ``(cycles, lazy, contended)`` or ``None`` when no safe
+        batch exists and the round must issue naively.
         """
         min_work = None
         for t in issueable:
             w = t.work_remaining
             if w <= 0:
-                return 0
+                return None
             if min_work is None or w < min_work:
                 min_work = w
         horizon = min_work
@@ -308,7 +347,7 @@ class HWCore:
             if b > now and b - now < horizon:
                 horizon = b - now
         engine = self.engine
-        nxt = engine.next_event_time()
+        nxt = engine.next_foreign_event_time()
         if nxt is not None and nxt - now < horizon:
             horizon = nxt - now
         until = engine.run_until
@@ -320,52 +359,91 @@ class HWCore:
         if n <= width:
             # no slot contention: every thread burns one cycle per round
             if horizon < 2:
-                return 0
-            advance = getattr(policy, "advance_rounds", None)
-            if advance is None:
-                return 0
-            picked = policy.select(issueable, width)
+                return None
+            if getattr(policy, "advance_rounds", None) is None:
+                return None
+            cycles = horizon
+            contended = False
+        else:
+            # contention: only a rotation-invariant policy (round-robin)
+            # is provably periodic -- any n consecutive rounds over a
+            # stable n-thread set pick every thread exactly `width` times
+            if not getattr(policy, "rotation_invariant", False):
+                return None
+            blocks = min(min_work // width, horizon // n)
+            cycles = blocks * n
+            if cycles < 2:
+                return None
+            contended = True
+        step = engine._next_step_time()
+        lazy = step is not None and step < now + cycles
+        if lazy and not contended and not getattr(
+                policy, "full_pick_uncontended", False):
+            # a lazy batch defers select() to resume time, which is only
+            # sound when the policy picks the whole uncontended set
+            return None
+        return cycles, lazy, contended
+
+    def _apply_fast_forward(self, issueable, rounds: int, contended: bool,
+                            now: int) -> int:
+        """Account ``rounds`` issue rounds of a planned batch.
+
+        Replays the exact per-round bookkeeping (``cycles_busy``,
+        ``issue_rounds``, storage recency order, policy state) naive
+        stepping would have produced over cycles ``now .. now+rounds``,
+        so a fast-forwarded run is indistinguishable from naive stepping
+        except for ``events_processed``. For a lazy batch ``rounds`` may
+        be any prefix of the planned cycles (the wake interrupted the
+        wait). Returns the cycles consumed (the eager caller yields it).
+        """
+        policy = self.issue_policy
+        n = len(issueable)
+        touch = self.storage.touch
+        if not contended:
+            picked = policy.select(issueable, self.smt_width)
             if len(picked) != n:
                 # an opted-in policy left slots empty; the select already
                 # charged its state, so finish this one round naively
+                # (unreachable from the lazy path, which requires
+                # full_pick_uncontended)
                 self.issue_rounds += 1
                 for thread in picked:
                     self._issue_one(thread)
                 return 1
-            order = advance(picked, horizon - 1)
+            order = policy.advance_rounds(picked, rounds - 1) \
+                if rounds >= 2 else picked
+            end = now + rounds
             for t in picked:
-                t.work_remaining -= horizon
-                t.cycles_busy += horizon
-                t.busy_until = now + horizon
-            touch = self.storage.touch
+                t.work_remaining -= rounds
+                t.cycles_busy += rounds
+                t.busy_until = end
             for t in order:
                 touch(t.ptid)
-            self.issue_rounds += horizon
-            return horizon
-        # contention: only a rotation-invariant policy (round-robin) is
-        # provably periodic -- any n consecutive rounds over a stable
-        # n-thread set pick every thread exactly `width` times
-        if not getattr(policy, "rotation_invariant", False):
-            return 0
-        blocks = min(min_work // width, horizon // n)
-        rounds = blocks * n
-        if rounds < 2:
-            return 0
-        per_thread = blocks * width
-        for t in issueable:
-            t.work_remaining -= per_thread
-            t.cycles_busy += per_thread
-            t.busy_until = now + rounds
-        # replay the storage-recency stream of the final rotation: every
-        # thread is touched there, so its order is all LRU ever sees
+            self.issue_rounds += rounds
+            return rounds
+        # contended round robin: replay the pick stream arithmetically.
+        # Over `rounds` rounds the policy picks `rounds * width`
+        # consecutive rotation positions starting at `_next`; thread j
+        # (in ptid order) is picked once per full wrap plus once more if
+        # its position falls inside the remainder.
+        width = self.smt_width
+        total = rounds * width
+        base, rem = divmod(total, n)
         ordered = sorted(issueable, key=lambda t: t.ptid)
         start = policy._next % n
-        touch = self.storage.touch
-        first_round = rounds - n
-        for r in range(n):
-            base = (start + (first_round + r) * width) % n
-            for i in range(width):
-                touch(ordered[(base + i) % n].ptid)
+        end = now + rounds
+        for j, t in enumerate(ordered):
+            cnt = base + (1 if (j - start) % n < rem else 0)
+            if cnt:
+                t.work_remaining -= cnt
+                t.cycles_busy += cnt
+                t.busy_until = end
+        # replay the storage-recency stream of the final picks: the last
+        # min(total, n) picks cover distinct threads, so their order is
+        # all LRU ever sees
+        for k in range(max(0, total - n), total):
+            touch(ordered[(start + k) % n].ptid)
+        policy._next = (start + total) % n
         self.issue_rounds += rounds
         return rounds
 

@@ -29,13 +29,17 @@ class RoundRobinIssue:
     over a stable ``n``-thread set pick every thread exactly ``width``
     times and return the pointer to its starting value (``n * width`` is
     a multiple of ``n``). Both facts are relied on by
-    :meth:`repro.hw.core.HWCore._fast_forward`.
+    :meth:`repro.hw.core.HWCore._plan_fast_forward`.
     """
 
     name = "round-robin"
     #: consecutive identical rounds permute deterministically -- the core
     #: may batch contended rounds in whole rotations (see module note).
     rotation_invariant = True
+    #: with ``n <= width``, :meth:`select` always returns all ``n``
+    #: threads -- required before the core may defer the select of an
+    #: interruptible (lazy) batch to resume time.
+    full_pick_uncontended = True
 
     def __init__(self) -> None:
         self._next = 0
@@ -89,6 +93,9 @@ class PriorityWeightedIssue:
     """
 
     name = "priority-weighted"
+    #: with ``n <= width`` the ``width`` lowest-virtual-time threads are
+    #: all of them: uncontended selects are total (see RoundRobinIssue).
+    full_pick_uncontended = True
 
     def __init__(self) -> None:
         self._vtime: Dict[int, float] = {}

@@ -24,6 +24,7 @@ import abc
 import heapq
 import itertools
 from collections import deque
+from operator import itemgetter
 from typing import Deque, List, Optional, Tuple
 
 from repro.analysis.stats import LatencyRecorder
@@ -84,11 +85,13 @@ class QueueingServer(abc.ABC):
         """Requests admitted but not finished."""
 
     def _finish(self, request: Request) -> None:
-        request.finish_time = float(self.engine.now)
+        finish = float(self.engine._now)
+        request.finish_time = finish
         self.completed += 1
-        self.recorder.record(request.latency)
+        latency = finish - request.arrival_time
+        self.recorder.record(latency)
         if self._obs_latency is not None:
-            self._obs_latency.record(request.latency)
+            self._obs_latency.record(latency)
         done = request.payload.get("done")
         if done is not None:
             done.fire(request)
@@ -216,6 +219,11 @@ class ProcessorSharingServer(QueueingServer):
     the accumulator passes its key. Every event is O(log jobs).
     """
 
+    #: A job completes once its key is within this many virtual cycles
+    #: of the progress accumulator -- absorbing the integer rounding of
+    #: the completion timer without ever force-popping an undone job.
+    COMPLETION_EPSILON = 0.5
+
     def __init__(self, engine: Engine, name: str = "",
                  recorder: Optional[LatencyRecorder] = None,
                  servers: int = 1):
@@ -231,11 +239,13 @@ class ProcessorSharingServer(QueueingServer):
         self._seq = itertools.count()
         self._last_update = 0
         self._pending_completion: Optional[ScheduledCall] = None
+        self._deadline = 0  # absolute fire time of _pending_completion
 
     def offer(self, request: Request) -> None:
         self._advance()
-        request.start_time = float(self.engine.now)
-        key = max(1.0, float(request.service_cycles)) + self._progress
+        request.start_time = float(self.engine._now)
+        svc = float(request.service_cycles)
+        key = (svc if svc > 1.0 else 1.0) + self._progress
         heapq.heappush(self._heap, (key, next(self._seq), request))
         self._reschedule()
 
@@ -245,40 +255,63 @@ class ProcessorSharingServer(QueueingServer):
     # ------------------------------------------------------------------
     def _advance(self) -> None:
         """Accumulate the shared progress since the last event."""
-        now = self.engine.now
+        now = self.engine._now
         elapsed = now - self._last_update
         self._last_update = now
         n = len(self._heap)
         if not n or elapsed <= 0:
             return
-        self.busy_cycles += elapsed * min(n, self.servers)  # server-cycles
-        self._progress += elapsed * min(1.0, self.servers / n)
+        servers = self.servers
+        self.busy_cycles += elapsed * (n if n < servers else servers)
+        self._progress += elapsed * (1.0 if n <= servers else servers / n)
 
     def _reschedule(self) -> None:
-        if self._pending_completion is not None:
-            self._pending_completion.cancel()
-            self._pending_completion = None
+        """(Re)arm the completion timer -- the lazy-deadline pattern.
+
+        An arrival can only *delay* the head job's completion (more
+        jobs, lower per-job rate), so the armed deadline is kept and
+        the early fire re-validates and re-arms; the common arrival
+        path therefore schedules zero engine cancels. Only an arrival
+        whose own completion lands strictly before the armed deadline
+        (a short job entering a long queue) cancels and re-arms.
+        """
         heap = self._heap
         if not heap:
             return
         min_remaining = heap[0][0] - self._progress
         # next completion after min_remaining / per-job-rate of wall time
-        slowdown = max(1.0, len(heap) / self.servers)
-        delay = max(1, int(round(min_remaining * slowdown)))
-        self._pending_completion = self.engine.after(delay, self._complete)
+        n = len(heap)
+        servers = self.servers
+        slowdown = 1.0 if n <= servers else n / servers
+        delay = int(round(min_remaining * slowdown))
+        due = self.engine._now + (delay if delay > 1 else 1)
+        pending = self._pending_completion
+        if pending is not None:
+            if due >= self._deadline:
+                return
+            pending.cancel()
+        self._deadline = due
+        self._pending_completion = self.engine.at(due, self._complete)
 
     def _complete(self) -> None:
         self._pending_completion = None
         self._advance()
         heap = self._heap
-        progress = self._progress
-        finished = []
-        while heap and heap[0][0] - progress <= 0.5:
-            finished.append(heapq.heappop(heap))
-        if not finished:
-            # rounding left the minimum just above zero; finish it now
-            finished.append(heapq.heappop(heap))
-        finished.sort(key=lambda entry: entry[1])  # arrival order
-        for _key, _seq, request in finished:
-            self._finish(request)
+        threshold = self._progress + self.COMPLETION_EPSILON
+        if heap and heap[0][0] <= threshold:
+            heappop = heapq.heappop
+            first = heappop(heap)
+            if not (heap and heap[0][0] <= threshold):
+                self._finish(first[2])   # the common single-finish fire
+            else:
+                finished = [first]
+                while heap and heap[0][0] <= threshold:
+                    finished.append(heappop(heap))
+                finished.sort(key=itemgetter(1))  # arrival order
+                for _key, _seq, request in finished:
+                    self._finish(request)
+        # Nothing due means this was a stale (lazy) deadline fired at
+        # the pre-arrival rate, or integer rounding undershot; either
+        # way re-arm from current state. Progress strictly increases
+        # between fires (delay >= 1, rate > 0), so this converges.
         self._reschedule()

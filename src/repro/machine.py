@@ -55,7 +55,7 @@ class MachineConfig:
     #: repro.obs session. Off: zero cost (the cores run an entirely
     #: uninstrumented issue loop).
     instrument: bool = False
-    #: busy-cycle fast-forward (see HWCore._fast_forward); results are
+    #: busy-cycle fast-forward (see HWCore._plan_fast_forward); results are
     #: identical either way, only wall-clock differs. The
     #: REPRO_NO_FASTFORWARD env var overrides this to False.
     fast_forward: bool = True

@@ -119,7 +119,7 @@ class Process:
     """
 
     __slots__ = ("engine", "generator", "name", "alive", "result", "error",
-                 "_joiners", "_pending_detach", "_interrupted")
+                 "step_ints", "_joiners", "_pending_detach", "_interrupted")
 
     def __init__(self, engine: Any, generator: Any, name: Optional[str] = None):
         self.engine = engine
@@ -128,6 +128,10 @@ class Process:
         self.alive = True
         self.result: Any = None
         self.error: Optional[BaseException] = None
+        #: route this process's timeouts to the engine's step lane --
+        #: set by HWCore on its issue loop, whose per-cycle resumes must
+        #: not cap other cores' fast-forward horizons (engine.at_step)
+        self.step_ints = False
         self._joiners: List[Callable[[Any], None]] = []
         self._pending_detach: List[Callable[[], None]] = []
         self._interrupted = False
@@ -181,12 +185,18 @@ class Process:
             if waitable < 0:
                 raise SimulationError(f"negative timeout {waitable}")
             engine = self.engine
-            engine.at(engine._now + waitable, self._resume, None)
+            if self.step_ints:
+                engine.at_step(engine._now + waitable, self._resume, None)
+            else:
+                engine.at(engine._now + waitable, self._resume, None)
             return
         if isinstance(waitable, int):
             waitable = Timeout(waitable)
         if isinstance(waitable, Timeout):
-            self.engine.after(waitable.delay, self._resume, None)
+            if self.step_ints:
+                self.engine.after_step(waitable.delay, self._resume, None)
+            else:
+                self.engine.after(waitable.delay, self._resume, None)
         elif isinstance(waitable, Signal):
             detach = waitable.add_waiter(self._resume)
             self._pending_detach.append(detach)
@@ -240,7 +250,8 @@ class Process:
         if isinstance(waitable, int):
             waitable = Timeout(waitable)
         if isinstance(waitable, Timeout):
-            call = self.engine.after(waitable.delay, callback, None)
+            after = self.engine.after_step if self.step_ints else self.engine.after
+            call = after(waitable.delay, callback, None)
             self._pending_detach.append(call.cancel)
         elif isinstance(waitable, Signal):
             self._pending_detach.append(waitable.add_waiter(callback))

@@ -1,6 +1,6 @@
 """Fast-forward vs naive stepping must be indistinguishable.
 
-The busy-cycle fast-forward in ``HWCore._fast_forward`` claims to
+The busy-cycle fast-forward in ``HWCore._plan_fast_forward`` claims to
 replay exactly the accounting naive cycle-by-cycle stepping would have
 produced -- retired instructions, per-thread busy cycles, final clock,
 wakeup/exception counts, and the trace event stream. These tests run
@@ -92,6 +92,51 @@ def _run_uncontended_priority(fast_forward: bool):
     return machine
 
 
+def _run_multicore(fast_forward: bool):
+    """Two cores on one engine: each core's bursts must batch past the
+    other core's per-cycle resumes (which live in the engine's step lane,
+    outside the foreign-event horizon), and a cross-core store wakes a
+    monitor sleeper mid-burst -- the interruptible (lazy) batch path."""
+    machine = build_machine(cores=2, hw_threads_per_core=4, smt_width=2,
+                            fast_forward=fast_forward, trace=True)
+    box = machine.alloc("box", 64)
+    for ptid in range(3):
+        machine.load_asm(ptid, f"""
+            movi r1, 0
+            movi r2, 2
+        loop:
+            work {500 + 211 * ptid}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """, core_id=0, supervisor=True)
+        machine.boot(ptid, core_id=0)
+    machine.load_asm(3, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        ld r2, r1, 0
+        work 350
+        halt
+    """, core_id=0, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(3, core_id=0)
+    # core 1: a long burst, then the cross-core store that wakes core
+    # 0's sleeper while core 0 is (in fast mode) mid-batch
+    machine.load_asm(0, """
+        work 1200
+        movi r1, BOX
+        movi r2, 99
+        st r1, 0, r2
+        work 600
+        halt
+    """, core_id=1, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(0, core_id=1)
+    machine.load_asm(1, "work 2500\nhalt", core_id=1, supervisor=True)
+    machine.boot(1, core_id=1)
+    machine.run()
+    return machine
+
+
 @pytest.mark.parametrize("workload", [_run_contended,
                                       _run_uncontended_priority])
 def test_fast_forward_matches_naive(workload):
@@ -103,6 +148,26 @@ def test_fast_forward_matches_naive(workload):
     assert (_thread_fingerprint(fast, ptids)
             == _thread_fingerprint(naive, ptids))
     assert fast.tracer.events == naive.tracer.events
+
+
+def test_multicore_fast_forward_matches_naive():
+    fast = _run_multicore(True)
+    naive = _run_multicore(False)
+    assert fast.engine.now == naive.engine.now
+    assert _strip_events(fast.stats()) == _strip_events(naive.stats())
+    ptids = range(fast.config.hw_threads_per_core)
+    for core_id in (0, 1):
+        fast_threads = [fast.thread(p, core_id) for p in ptids]
+        naive_threads = [naive.thread(p, core_id) for p in ptids]
+        for f, n in zip(fast_threads, naive_threads):
+            assert f.instructions_executed == n.instructions_executed
+            assert f.cycles_busy == n.cycles_busy
+            assert f.wakeups == n.wakeups
+            assert f.state is n.state
+    assert fast.tracer.events == naive.tracer.events
+    # the whole point: neither core's per-cycle resumes pinned the
+    # other's horizon at one cycle
+    assert fast.engine.events_processed < naive.engine.events_processed / 5
 
 
 def test_fast_forward_actually_skips_events():

@@ -192,3 +192,50 @@ def test_all_disciplines_conserve_requests_property(services):
         # no request finishes before its arrival + service
         for r in trace:
             assert r.finish_time >= r.arrival_time + 0.5 * r.service_cycles
+
+
+class _ResidualRecordingPS(ProcessorSharingServer):
+    """PS that records, for every finished job, how much virtual work
+    its heap key still had outstanding at the moment it was popped."""
+
+    def __init__(self, engine, **kwargs):
+        super().__init__(engine, **kwargs)
+        self._keys = {}
+        self.residuals = []
+
+    def offer(self, request):
+        super().offer(request)
+        # reconstruct the key offer() just pushed: progress has already
+        # been advanced to the offer instant
+        self._keys[request.req_id] = (
+            max(1.0, float(request.service_cycles)) + self._progress)
+
+    def _finish(self, request):
+        self.residuals.append(self._keys.pop(request.req_id)
+                              - self._progress)
+        super()._finish(request)
+
+
+@given(jobs=st.lists(st.tuples(st.integers(min_value=0, max_value=4000),
+                               st.integers(min_value=1, max_value=9000)),
+                     min_size=1, max_size=25),
+       servers=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_ps_never_completes_with_residual_work_property(jobs, servers):
+    """The epsilon-aware completion pop must never finish a job that
+    still has more than COMPLETION_EPSILON virtual cycles of key left:
+    integer deadline rounding may land the timer half a cycle early,
+    but a genuinely unfinished job is re-armed, not force-popped."""
+    arrival = 0
+    trace = []
+    for i, (gap, service) in enumerate(jobs):
+        arrival += gap
+        trace.append(Request(i, arrival_time=arrival,
+                             service_cycles=service))
+    engine = Engine()
+    server = _ResidualRecordingPS(engine, servers=servers)
+    feed_trace(engine, server, trace)
+    engine.run()
+    assert server.completed == len(jobs)
+    eps = ProcessorSharingServer.COMPLETION_EPSILON
+    assert all(residual <= eps + 1e-9 for residual in server.residuals)

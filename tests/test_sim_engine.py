@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim import Engine
+from repro.sim.engine import HeapEngine, WheelEngine
 
 
 def test_time_starts_at_zero():
@@ -167,6 +168,32 @@ def test_mass_cancel_mid_run_keeps_later_events():
     engine.at(2_000, seen.append, "tail")
     engine.run()
     assert seen == ["scheduled-after-compaction", "tail"]
+    assert engine.pending_events == 0
+
+
+@pytest.mark.parametrize("engine_cls", [HeapEngine, WheelEngine])
+def test_next_event_time_mid_run_keeps_later_events(engine_cls):
+    # regression, same family as the stranded-event compaction bug
+    # below: next_event_time used to pop cancelled heads straight off
+    # self._queue while run() held a local alias to it, so peeking from
+    # inside a callback after a mass cancel could strand every later
+    # event in a list the dispatch loop never looked at again. The peek
+    # must prune tombstones with the same in-place discipline as
+    # _note_cancel.
+    engine = engine_cls()
+    seen = []
+    doomed = [engine.at(1_000 + i, seen.append, "dead") for i in range(100)]
+
+    def probe():
+        for call in doomed:
+            call.cancel()
+        assert engine.next_event_time() == 2_000
+        engine.after(5, seen.append, "scheduled-after-peek")
+
+    engine.at(10, probe)
+    engine.at(2_000, seen.append, "tail")
+    engine.run()
+    assert seen == ["scheduled-after-peek", "tail"]
     assert engine.pending_events == 0
 
 
