@@ -75,6 +75,44 @@ def micro_bench() -> dict:
     return timed_cluster_run(lambda: _run("sw-threads", nodes=8, fanout=4))
 
 
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _shard_run(shards, nodes=16, requests=300):
+    config = ClusterConfig(nodes=nodes, design=DESIGNS["sw-threads"],
+                           policy="round-robin", fanout=8, load=0.1,
+                           mean_service_cycles=5_000, segments=4,
+                           rtt_cycles=20_000, requests=requests,
+                           shards=shards)
+    return run_cluster(config, seed=7, transport="process")
+
+
+def shard_scaling(shard_counts=SHARD_COUNTS) -> dict:
+    """Events/sec per shard count on one sweep cell (real worker
+    processes; shards=1 is the classic single-engine run). Recorded
+    honestly: on a single-CPU container the worker processes add
+    synchronization overhead without adding cores, so sharded
+    throughput *trails* shards=1 there -- the figures are the baseline
+    a multi-core host compares against."""
+    from benchmarks._cluster_bench import timed_cluster_run
+
+    return {str(shards): timed_cluster_run(
+                lambda shards=shards: _shard_run(shards))
+            for shards in shard_counts}
+
+
+def sweep_256(shard_counts=(1, 4)) -> dict:
+    """The acceptance sweep: one 256-node cell, single-engine vs 4
+    shard workers, wall-clock seconds (best of 2)."""
+    from benchmarks._cluster_bench import timed_cluster_run
+
+    return {str(shards): timed_cluster_run(
+                lambda shards=shards: _shard_run(shards, nodes=256,
+                                                 requests=300),
+                repeats=2)
+            for shards in shard_counts}
+
+
 def main(quick_only: bool) -> None:
     from benchmarks import _cluster_bench as cb
 
@@ -89,7 +127,13 @@ def main(quick_only: bool) -> None:
                 [cb.timed_experiment("E14", quick=True),
                  cb.timed_experiment("E14", quick=False)]),
         }),
+        # conservative-PDES sharding (default wheel store, process
+        # transport); byte-identical output, so this is purely a
+        # wall-clock/events-per-sec trajectory
+        "shard_scaling": shard_scaling(),
     }
+    if not quick_only:
+        payload["sweep_256_nodes"] = sweep_256()
     cb.update_section("e14", payload)
 
 

@@ -57,6 +57,16 @@ def main() -> int:
                   fresh["events_per_sec"], failures)
     os.environ.pop("REPRO_ENGINE_QUEUE", None)
 
+    # PDES shard scaling (process transport, default store): the same
+    # sweep cell at 1/2/4 shard workers, each gated independently
+    scaling_base = cluster_base["e14"].get("shard_scaling", {})
+    fresh_scaling = e14.shard_scaling(
+        tuple(int(s) for s in scaling_base))
+    for shards, cell in scaling_base.items():
+        check(f"e14.shard_scaling[shards={shards}]",
+              cell["events_per_sec"],
+              fresh_scaling[shards]["events_per_sec"], failures)
+
     if failures:
         print(f"\nevents/sec regression >{TOLERANCE_PCT}% in: "
               + ", ".join(failures))

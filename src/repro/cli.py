@@ -87,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--hedge-after", type=int, default=None,
                          metavar="CYCLES",
                          help="send a hedged shard after this many cycles")
+    cluster.add_argument("--shards", type=int, default=1,
+                         help="partition the run over N engine shards "
+                              "(conservative PDES; byte-identical output)")
+    cluster.add_argument("--shard-transport", default="process",
+                         choices=("process", "inline"),
+                         help="shard workers as processes (parallel) or "
+                              "inline (debug)")
     cluster.add_argument("--drop-prob", type=float, default=0.0,
                          help="per-message link drop probability")
     cluster.add_argument("--seed", type=lambda v: int(v, 0),
@@ -275,12 +282,13 @@ def _cmd_cluster(args) -> int:
                 requests=args.requests, queue_limit=args.queue_limit,
                 hedge_after=args.hedge_after,
                 link=LinkSpec(drop_prob=args.drop_prob),
-                backend=args.backend)
+                backend=args.backend, shards=args.shards)
             if args.trace_path or args.metrics_path:
                 import repro.obs as obs
 
                 with obs.session(f"cluster.{name}") as sess:
-                    result = run_cluster(config, seed=args.seed)
+                    result = run_cluster(config, seed=args.seed,
+                                         transport=args.shard_transport)
                 if args.trace_path:
                     from repro.obs.export import write_trace
                     write_trace(args.trace_path, sess.chrome_trace())
@@ -292,7 +300,8 @@ def _cmd_cluster(args) -> int:
                     print(f"metrics snapshot written to "
                           f"{args.metrics_path}", file=sys.stderr)
             else:
-                result = run_cluster(config, seed=args.seed)
+                result = run_cluster(config, seed=args.seed,
+                                     transport=args.shard_transport)
             summaries[name] = result.summary
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -19,12 +19,17 @@ datacenter on a shared :class:`~repro.sim.engine.Engine`:
   requests, exact conservation accounting;
 - :mod:`repro.cluster.run` -- config-driven runs shared by the CLI
   (``python -m repro cluster``), ``examples/cluster_service.py``, and
-  experiment E14.
+  experiment E14;
+- :mod:`repro.cluster.pdes` -- parallel-in-time sharding: one engine
+  per node partition, synchronized conservatively on the fabric's
+  guaranteed link latency (``shards=N`` on :class:`ClusterConfig`),
+  byte-identical to the single-engine run.
 """
 
 from repro.cluster.balancer import POLICIES, LoadBalancer
 from repro.cluster.fabric import Fabric, LinkSpec
 from repro.cluster.node import ClusterNode
+from repro.cluster.pdes import CausalityError, run_sharded
 from repro.cluster.run import (
     DESIGNS,
     PLACEMENTS,
@@ -33,6 +38,8 @@ from repro.cluster.run import (
     build_cluster,
     drive_workload,
     get_design,
+    node_link_spec,
+    request_lookahead,
     run_cluster,
     scaled,
     summarize_run,
@@ -53,7 +60,11 @@ __all__ = [
     "ClusterRunResult",
     "build_cluster",
     "drive_workload",
+    "node_link_spec",
+    "request_lookahead",
     "run_cluster",
+    "run_sharded",
+    "CausalityError",
     "scaled",
     "summarize_run",
 ]

@@ -12,14 +12,24 @@ cluster front-end hedges, see :mod:`repro.cluster.service`), which is
 how μs-scale RPC stacks actually behave -- a retransmit timeout is
 milliseconds, three orders of magnitude above the service time.
 
-All randomness comes from one caller-supplied ``random.Random`` so a
+All randomness comes from caller-supplied ``random.Random`` state so a
 cluster run is reproducible under :class:`~repro.sim.rng.RngStreams`.
+Two wiring styles exist:
+
+- one shared ``rng`` for the whole fabric (the legacy mode, still used
+  by direct constructions in tests); or
+- a ``stream_factory`` mapping each *directed link* ``"src->dst"`` to
+  its own named stream. Per-link streams make the draw sequence of a
+  link depend only on the traffic crossing *that* link -- the property
+  the parallel-in-time sharded runtime (:mod:`repro.cluster.pdes`)
+  needs so a worker process can reproduce its links' draws without
+  seeing any other shard's traffic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.engine import Engine
@@ -70,10 +80,17 @@ class Fabric:
     when a run stops at a horizon with deliveries still pending.
     """
 
-    def __init__(self, engine: Engine, rng: Random,
-                 default_link: LinkSpec = LinkSpec()):
+    def __init__(self, engine: Engine, rng: Optional[Random] = None,
+                 default_link: LinkSpec = LinkSpec(),
+                 stream_factory: Optional[Callable[[str], Random]] = None):
+        if (rng is None) == (stream_factory is None):
+            raise ConfigError(
+                "a fabric needs exactly one randomness source: either a "
+                "shared rng or a per-link stream_factory")
         self.engine = engine
         self.rng = rng
+        self.stream_factory = stream_factory
+        self._link_rngs: Dict[Tuple[str, str], Random] = {}
         self.default_link = default_link
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
         self.sent = 0
@@ -98,20 +115,39 @@ class Fabric:
     def link_for(self, src: str, dst: str) -> LinkSpec:
         return self._links.get((src, dst), self.default_link)
 
+    def rng_for(self, src: str, dst: str) -> Random:
+        """The stream the ``src -> dst`` link draws from (shared rng in
+        legacy mode, a lazily created per-link stream otherwise)."""
+        if self.stream_factory is None:
+            return self.rng
+        key = (src, dst)
+        rng = self._link_rngs.get(key)
+        if rng is None:
+            rng = self._link_rngs[key] = self.stream_factory(f"{src}->{dst}")
+        return rng
+
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str,
              fn: Callable[..., Any], *args: Any) -> bool:
         """Carry one message; returns False if the fabric dropped it."""
+        return self.send_traced(src, dst, fn, *args) is not None
+
+    def send_traced(self, src: str, dst: str,
+                    fn: Callable[..., Any], *args: Any) -> Optional[int]:
+        """Like :meth:`send`, but returns the absolute delivery time
+        (``None`` when dropped) -- the sharded runtime needs the
+        timestamp to ship the message cross-process."""
         self.sent += 1
         spec = self.link_for(src, dst)
-        if spec.drop_prob > 0.0 and self.rng.random() < spec.drop_prob:
+        rng = self.rng_for(src, dst)
+        if spec.drop_prob > 0.0 and rng.random() < spec.drop_prob:
             self.dropped += 1
-            return False
-        delay = spec.sample_delay(self.rng)
+            return None
+        delay = spec.sample_delay(rng)
         self.latency_cycles += delay
         self.in_flight += 1
         self.engine.after(delay, self._deliver, fn, args)
-        return True
+        return self.engine.now + delay
 
     def _deliver(self, fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
         self.in_flight -= 1

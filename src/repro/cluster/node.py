@@ -39,7 +39,7 @@ class ClusterNode:
                  costs: Optional[CostModel] = None, cores: int = 1,
                  queue_limit: Optional[int] = None,
                  resident_threads: Optional[int] = None,
-                 backend: str = "model"):
+                 backend: str = "model", register_obs: bool = True):
         if node_id < 0:
             raise ConfigError(f"node id must be >= 0, got {node_id}")
         if queue_limit is not None and queue_limit < 1:
@@ -61,11 +61,14 @@ class ClusterNode:
         self.rejected = 0
         self._in_flight = 0
         # observability: a per-node metric namespace and a busy/idle
-        # timeline track, only when a session is active
+        # timeline track, only when a session is active. A PDES shard
+        # worker passes register_obs=False: its nodes are mirrored by
+        # client-side proxies which own the obs registration, so a
+        # sharded snapshot carries exactly the single-engine namespaces.
         self._obs_timeline = None
         self._obs_track = 0
         import repro.obs as obs
-        session = obs.active()
+        session = obs.active() if register_obs else None
         if session is not None:
             prefix = session.register_source("cluster.node",
                                              self._fill_metrics)

@@ -76,6 +76,7 @@ class ClusterConfig:
     racks: int = 1                  # nodes are striped node_id % racks
     cross_rack_link: Optional[LinkSpec] = None  # client<->other racks
     placement: str = "any"          # "any" | "same-rack" shard placement
+    shards: int = 1                 # engine shards (parallel-in-time PDES)
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -109,6 +110,13 @@ class ClusterConfig:
             raise ConfigError(
                 f"unknown placement {self.placement!r}; known: "
                 f"{', '.join(PLACEMENTS)}")
+        if self.shards < 1:
+            raise ConfigError(
+                f"need at least one shard, got {self.shards}")
+        if self.shards > self.nodes:
+            raise ConfigError(
+                f"{self.shards} shards need at least as many nodes, "
+                f"got {self.nodes}")
 
     def label(self) -> str:
         """Stable stream-name prefix for this configuration.
@@ -116,7 +124,9 @@ class ClusterConfig:
         Non-default fidelity/topology knobs append suffixes so new
         configurations get fresh streams, while every pre-existing
         configuration keeps its exact historical label (byte-identical
-        tables across the backend refactor).
+        tables across the backend refactor). ``shards`` is deliberately
+        absent: how a run is partitioned across engines must never
+        change which random numbers it draws.
         """
         extra = ""
         if self.backend != "model":
@@ -165,6 +175,24 @@ class ClusterRunResult:
     summary: Dict[str, Any]
 
 
+def node_link_spec(config: ClusterConfig, node_id: int) -> LinkSpec:
+    """The (symmetric) client<->node link spec under this topology:
+    the client sits in rack 0, so nodes in any other rack pay the
+    cross-rack spec when one is configured."""
+    if config.cross_rack_link is not None and node_id % config.racks != 0:
+        return config.cross_rack_link
+    return config.link
+
+
+def request_lookahead(config: ClusterConfig) -> int:
+    """The conservative-PDES lookahead: the minimum base latency of any
+    client->node link that can carry a request. Every cross-shard
+    message pays at least this much wire time, so a shard that has seen
+    all messages sent by time T is safe to run through T + lookahead."""
+    return min(node_link_spec(config, node_id).base_cycles
+               for node_id in range(config.nodes))
+
+
 def build_cluster(config: ClusterConfig, streams: RngStreams,
                   engine: Optional[Engine] = None,
                   costs: Optional[CostModel] = None) -> ClusterService:
@@ -192,15 +220,18 @@ def build_cluster(config: ClusterConfig, streams: RngStreams,
                             rng=streams.stream(f"{label}.lb"),
                             probe_delay_cycles=config.probe_delay_cycles,
                             engine=engine)
-    fabric = Fabric(engine, streams.stream(f"{label}.net"),
-                    default_link=config.link)
-    if config.cross_rack_link is not None:
-        # heterogeneous topology: the client sits in rack 0, so links
-        # to and from every other rack pay the cross-rack spec
-        for node in nodes:
-            if node.node_id % config.racks != 0:
-                fabric.set_link(CLIENT, node.name, config.cross_rack_link)
-                fabric.set_link(node.name, CLIENT, config.cross_rack_link)
+    # per-directed-link streams: a link's draw sequence depends only on
+    # the traffic crossing that link, which is what lets a PDES shard
+    # worker reproduce its own links without seeing the others
+    fabric = Fabric(
+        engine,
+        stream_factory=lambda link: streams.stream(f"{label}.net.{link}"),
+        default_link=config.link)
+    for node in nodes:
+        spec = node_link_spec(config, node.node_id)
+        if spec is not config.link:
+            fabric.set_link(CLIENT, node.name, spec)
+            fabric.set_link(node.name, CLIENT, spec)
     return ClusterService(engine, nodes, balancer, fabric,
                           fanout=config.fanout, segments=config.segments,
                           rtt_cycles=config.rtt_cycles,
@@ -237,8 +268,19 @@ def drive_workload(service: ClusterService, config: ClusterConfig,
 
 def run_cluster(config: ClusterConfig, seed: int = 0xC0FFEE,
                 distribution: Optional[ServiceDistribution] = None,
-                horizon: Optional[int] = None) -> ClusterRunResult:
-    """Build, drive, and run one cluster to its horizon."""
+                horizon: Optional[int] = None,
+                transport: str = "process") -> ClusterRunResult:
+    """Build, drive, and run one cluster to its horizon.
+
+    With ``config.shards > 1`` the run is partitioned over shard
+    engines by the conservative PDES runtime (``transport`` selects
+    worker processes or the in-process debug mode); the summary is
+    byte-identical to the single-engine run either way.
+    """
+    if config.shards > 1:
+        from repro.cluster.pdes import run_sharded
+        return run_sharded(config, seed=seed, distribution=distribution,
+                           horizon=horizon, transport=transport)
     streams = RngStreams(seed)
     service = build_cluster(config, streams)
     drive_workload(service, config, streams, distribution)

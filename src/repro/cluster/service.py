@@ -152,8 +152,22 @@ class ClusterService:
         shard.tried = shard.tried + (node,)
         shard.outstanding += 1
         self.attempts += 1
+        # the attempt id is assigned client-side at launch (not at node
+        # arrival) so it is a pure function of the routing sequence --
+        # the sharded runtime relies on this to name attempts
+        # identically on both sides of a process boundary
+        self._next_shard_req += 1
+        self._send_request(state, shard_index, cycles, node,
+                           self._next_shard_req)
+
+    def _send_request(self, state: _RequestState, shard_index: int,
+                      cycles: float, node: ClusterNode,
+                      attempt_id: int) -> None:
+        """Carry one shard attempt to its node (the transport seam the
+        parallel-in-time runtime overrides)."""
         delivered = self.fabric.send(CLIENT, node.name, self._arrive,
-                                     state, shard_index, cycles, node)
+                                     state, shard_index, cycles, node,
+                                     attempt_id)
         if delivered:
             self.requests_on_wire += 1
         else:
@@ -161,12 +175,11 @@ class ClusterService:
             self._attempt_failed(state, shard_index)
 
     def _arrive(self, state: _RequestState, shard_index: int,
-                cycles: float, node: ClusterNode) -> None:
+                cycles: float, node: ClusterNode, attempt_id: int) -> None:
         self.requests_on_wire -= 1
-        self._next_shard_req += 1
         per_segment = [max(1.0, cycles) / self.segments] * self.segments
         accepted = node.offer(
-            self._next_shard_req, per_segment, self.rtt_cycles,
+            attempt_id, per_segment, self.rtt_cycles,
             on_done=lambda: self._node_finished(state, shard_index, node))
         if not accepted:
             self.rejected += 1

@@ -27,6 +27,7 @@ measure the design, not sampling noise.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Sequence, Tuple
 
 from repro.analysis.report import ExperimentResult, Verdict
@@ -206,10 +207,51 @@ def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
                             cell["hedges"], round(cell["p99"]))
     result.add_table(hedge_table)
 
+    # ------------------------------------------------------------------
+    # 5. parallel-in-time sharding: PDES workers are invisible in the
+    #    results (the guaranteed link latency is exploitable lookahead)
+    # ------------------------------------------------------------------
+    shard_nodes = 16 if quick else 256
+    shard_fanout = min(MAX_FANOUT, shard_nodes)
+    shard_requests = _requests_for(shard_nodes, requests if quick else 300)
+    shard_table = Table(["shards", "mode", "windows", "completed", "p50",
+                         "p99", "identical"],
+                        title=f"Conservative PDES sharding (hw-threads, "
+                              f"{POLICY} placement, {shard_nodes} nodes, "
+                              f"fanout {shard_fanout}, process workers)")
+    shard_series: Dict[int, Dict[str, object]] = {}
+    baseline = None
+    for shards in (1, 2, 4):
+        config = _base_config(nodes=shard_nodes, fanout=shard_fanout,
+                              requests=shard_requests, shards=shards)
+        run_result = run_cluster(config, seed=seed + 3,
+                                 transport="process")
+        summary = run_result.summary
+        stats = run_result.service.recorder.summary()
+        pdes = getattr(run_result.service, "pdes", {})
+        fingerprint = (json.dumps(summary, sort_keys=True),
+                       stats.p50, stats.p99)
+        if baseline is None:
+            baseline = fingerprint
+        identical = fingerprint == baseline
+        shard_series[shards] = {
+            "mode": pdes.get("mode", "single"),
+            "windows": pdes.get("windows", 0),
+            "completed": summary["completed"],
+            "p50": stats.p50,
+            "p99": stats.p99,
+            "identical": identical,
+        }
+        shard_table.add_row(shards, pdes.get("mode", "-"),
+                            pdes.get("windows", 0), summary["completed"],
+                            round(stats.p50), round(stats.p99), identical)
+    result.add_table(shard_table)
+
     result.data["tax"] = tax_series
     result.data["tail"] = tail_series
     result.data["policies"] = lb_series
     result.data["hedge"] = hedge_series
+    result.data["sharding"] = shard_series
     result.data["node_counts"] = list(node_counts)
 
     # ------------------------------------------------------------------
@@ -266,4 +308,15 @@ def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
         f"{hedge_series['on']['dropped']} with hedging "
         f"({hedge_series['on']['hedges']} hedges)",
         Verdict.SUPPORTED if masked else Verdict.PARTIAL)
+
+    invisible = all(cell["identical"] for cell in shard_series.values())
+    result.add_claim(
+        "conservative PDES sharding is invisible in the results",
+        "cross-machine communication is orders of magnitude more "
+        "expensive than an intra-machine context switch -- the same "
+        "asymmetry the simulator exploits as guaranteed lookahead "
+        "(infrastructure claim)",
+        f"shards 1/2/4 over {shard_nodes} nodes: summaries and latency "
+        f"quantiles byte-identical = {invisible}",
+        Verdict.SUPPORTED if invisible else Verdict.PARTIAL)
     return result

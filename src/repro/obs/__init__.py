@@ -61,8 +61,14 @@ class Session:
     def __init__(self, label: str = "obs"):
         self.label = label
         self.registry = MetricsRegistry()
+        #: live machines and :class:`~repro.obs.merge.MachineDigest`
+        #: stand-ins for machines that live in another process
         self.machines: List[Any] = []
         self.sources: List[Tuple[str, Callable[[MetricsRegistry, str], None]]] = []
+        #: the ``kind`` each source was registered under, parallel to
+        #: ``sources`` -- lets a shard worker's sources be re-registered
+        #: elsewhere under the same kind (see ``repro.obs.merge``)
+        self.source_kinds: List[str] = []
         self._source_counts: Dict[str, int] = {}
         # spans for components that run outside any machine (kernel I/O
         # and queueing servers); each gets a named track on its own
@@ -82,6 +88,7 @@ class Session:
         self._source_counts[kind] = index + 1
         prefix = f"{kind}{index}"
         self.sources.append((prefix, fill))
+        self.source_kinds.append(kind)
         return prefix
 
     def register_track(self, name: str) -> int:
@@ -103,9 +110,12 @@ class Session:
         """One Perfetto trace over all collected machines, a pid block
         per machine."""
         from repro.obs.export import chrome_trace
+        from repro.obs.merge import MachineDigest
         timelines = []
         ends = [0]
         for index, machine in enumerate(self.machines):
+            if isinstance(machine, MachineDigest):
+                continue  # raw spans stayed in the worker process
             machine.obs.timeline.finish(machine.engine.now)
             ends.append(machine.engine.now)
             timelines.append((f"m{index}", machine.obs.timeline,
@@ -118,8 +128,9 @@ class Session:
             ends.extend(begin for _, _, _, begin
                         in self.timeline.open_spans())
             self.timeline.finish(max(ends))
-            freq = (self.machines[0].config.freq_ghz
-                    if self.machines else 1.0)
+            live = [machine for machine in self.machines
+                    if not isinstance(machine, MachineDigest)]
+            freq = live[0].config.freq_ghz if live else 1.0
             timelines.append(("session", self.timeline, freq))
         return chrome_trace(timelines, metadata={"source": "repro",
                                                  "label": self.label})

@@ -139,6 +139,7 @@ def session_snapshot(session) -> Dict[str, Any]:
     """Aggregate snapshot over every machine and source a
     :class:`~repro.obs.Session` collected (an experiment may build one
     machine per sweep cell; they all land here)."""
+    from repro.obs.merge import MachineDigest
     merged = MetricsRegistry()
     merged.merge(session.registry)
     profiles = {}
@@ -147,6 +148,13 @@ def session_snapshot(session) -> Dict[str, Any]:
     state_cycles: Dict[str, int] = {}
     summaries = [_timeline_summary(session.timeline)]
     for index, machine in enumerate(session.machines):
+        if isinstance(machine, MachineDigest):
+            # a machine that lives in a shard worker: its contribution
+            # arrived pre-harvested (see repro.obs.merge)
+            merged.merge(machine.harvest)
+            profiles[f"machine{index}"] = machine.profile
+            summaries.append(machine.timeline)
+            continue
         harvest_machine(machine, merged)
         profiles[f"machine{index}"] = machine.obs.profiler.snapshot(
             machine.engine.now)

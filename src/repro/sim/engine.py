@@ -499,7 +499,7 @@ class WheelEngine(Engine):
         live = [e for e in bucket if not e[1].cancelled]
         if live:
             bucket[:] = live
-            self._bucket_dead[t] = 0
+            self._bucket_dead.pop(t, None)  # no tombstones left
             heapq.heappush(self._times, t)
         else:
             del self._buckets[t]
@@ -526,7 +526,9 @@ class WheelEngine(Engine):
             self._bucket_dead.pop(t, None)
         elif dead >= _COMPACT_MIN_BUCKET and dead > len(bucket) // 2:
             bucket[:] = [e for e in bucket if not e[1].cancelled]
-            self._bucket_dead[t] = 0
+            # drop the key (not a zero) so an otherwise cancellation-free
+            # run returns _bucket_dead to empty, the consume sites' guard
+            self._bucket_dead.pop(t, None)
         else:
             self._bucket_dead[t] = dead
 
@@ -550,9 +552,13 @@ class WheelEngine(Engine):
                 while idx < n and bucket[idx][1].cancelled:
                     idx += 1
                 if idx == n:
-                    # bucket consumed; only now does its dict entry go
+                    # bucket consumed; only now does its dict entry go.
+                    # _bucket_dead is empty unless something cancelled,
+                    # so the truth test keeps the cancellation-free hot
+                    # path (cluster PS completions) to one dict delete
                     del buckets[t]
-                    self._bucket_dead.pop(t, None)
+                    if self._bucket_dead:
+                        self._bucket_dead.pop(t, None)
                     self._cur_bucket = None
                     continue
                 self._cur_idx = idx
@@ -658,7 +664,8 @@ class WheelEngine(Engine):
                 call.fn(*call.args)
             else:
                 del buckets[self._cur_time]
-                self._bucket_dead.pop(self._cur_time, None)
+                if self._bucket_dead:  # empty unless something cancelled
+                    self._bucket_dead.pop(self._cur_time, None)
                 self._cur_bucket = None
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -745,7 +752,8 @@ class WheelEngine(Engine):
                 call.fn(*call.args)
             else:
                 del buckets[t]
-                self._bucket_dead.pop(t, None)
+                if self._bucket_dead:  # empty unless something cancelled
+                    self._bucket_dead.pop(t, None)
                 self._cur_bucket = None
 
     def next_foreign_event_time(self) -> Optional[int]:

@@ -1,0 +1,284 @@
+"""Tests for repro.cluster.pdes: conservative parallel-in-time sharding.
+
+The contract under test is strong: a sharded run must be *byte
+identical* to the single-engine run -- same summary, same latency
+quantiles, same obs snapshot -- because every shard replays exactly
+the RNG draws its own nodes and links would have made on the shared
+engine. The conservative protocol (lookahead = min client->node link
+latency) guarantees no shard ever has to deliver a message into its
+committed past; the causality tests pin that guarantee down.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro.cluster import (
+    CausalityError,
+    ClusterConfig,
+    node_link_spec,
+    request_lookahead,
+    run_cluster,
+    scaled,
+)
+from repro.cluster.fabric import LinkSpec
+from repro.cluster.pdes import ShardWorker, shard_node_ids
+from repro.distributed.rpc import SW_THREADS
+from repro.errors import ConfigError
+
+
+def _config(**overrides) -> ClusterConfig:
+    """Small but non-trivial: multiple nodes per shard, fanout > 1."""
+    defaults = dict(nodes=8, design=SW_THREADS, fanout=4, requests=40,
+                    mean_service_cycles=8_000, rtt_cycles=4_000,
+                    link=LinkSpec(base_cycles=2_000, jitter_mean_cycles=250.0))
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _fingerprint(result) -> str:
+    """Everything a run reports, as one canonical string."""
+    stats = result.service.recorder.summary()
+    return json.dumps({"summary": result.summary,
+                       "p50": stats.p50, "p95": stats.p95,
+                       "p99": stats.p99, "mean": stats.mean},
+                      sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+class TestShardNodeIds:
+    def test_striped_partition(self):
+        assert shard_node_ids(8, 3) == [[0, 3, 6], [1, 4, 7], [2, 5]]
+
+    def test_one_shard_is_identity(self):
+        assert shard_node_ids(4, 1) == [[0, 1, 2, 3]]
+
+    def test_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            shard_node_ids(4, 5)
+        with pytest.raises(ConfigError):
+            shard_node_ids(4, 0)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigError):
+            run_cluster(_config(shards=2), transport="carrier-pigeon")
+
+
+class TestLabelsIgnoreShards:
+    """Sharding must not perturb a single RNG stream: both label
+    variants -- the stream prefix and the human label -- are the same
+    for shards=1 and shards=N, so every named stream draws the same
+    sequence on either side."""
+
+    def test_workload_label_unchanged(self):
+        base = _config()
+        for shards in (2, 4, 8):
+            assert (scaled(base, shards=shards).workload_label()
+                    == base.workload_label())
+
+    def test_label_unchanged(self):
+        base = _config()
+        assert scaled(base, shards=4).label() == base.label()
+
+
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    """The headline acceptance: shards=N reproduces shards=1 exactly."""
+
+    @pytest.mark.parametrize("policy,hedge", [
+        ("round-robin", None),   # decoupled pipeline schedule
+        ("random", None),        # decoupled, stochastic routing
+        ("jsq", None),           # windowed: routing reads node state
+        ("round-robin", 30_000)  # windowed: hedging reads responses
+    ])
+    def test_matches_single_engine(self, policy, hedge):
+        config = _config(policy=policy, hedge_after=hedge)
+        single = run_cluster(config, seed=11)
+        sharded = run_cluster(scaled(config, shards=4), seed=11,
+                              transport="inline")
+        assert _fingerprint(sharded) == _fingerprint(single)
+        assert sharded.service.pdes["shards"] == 4
+
+    def test_schedule_selection(self):
+        """State-free routing takes the decoupled pipeline; load-aware
+        routing and hedging fall back to lockstep windows."""
+        dec = run_cluster(_config(policy="round-robin", shards=2), seed=3,
+                          transport="inline")
+        win = run_cluster(_config(policy="jsq", shards=2), seed=3,
+                          transport="inline")
+        assert dec.service.pdes["mode"] == "decoupled"
+        assert win.service.pdes["mode"] == "windowed"
+
+    def test_partition_count_is_invisible(self):
+        """2, 3, and 4 shards cut the node set differently yet report
+        the same run: the partition is pure bookkeeping."""
+        config = _config(policy="jsq")
+        prints = {shards: _fingerprint(
+                      run_cluster(scaled(config, shards=shards), seed=5,
+                                  transport="inline"))
+                  for shards in (1, 2, 3, 4)}
+        assert len(set(prints.values())) == 1
+
+    def test_process_transport_matches(self):
+        """Real worker processes (the default transport) agree with
+        both the inline debug mode and the single engine."""
+        config = _config(policy="round-robin")
+        single = run_cluster(config, seed=9)
+        procs = run_cluster(scaled(config, shards=2), seed=9,
+                            transport="process")
+        assert _fingerprint(procs) == _fingerprint(single)
+        assert procs.service.pdes["transport"] == "process"
+
+    def test_cross_rack_topology_matches(self):
+        """Lookahead honors per-link overrides: the min over the
+        client->node specs, not the default link."""
+        config = _config(racks=2,
+                         cross_rack_link=LinkSpec(base_cycles=9_000,
+                                                  jitter_mean_cycles=500.0))
+        assert request_lookahead(config) == 2_000
+        single = run_cluster(config, seed=21)
+        sharded = run_cluster(scaled(config, shards=4), seed=21,
+                              transport="inline")
+        assert _fingerprint(sharded) == _fingerprint(single)
+
+
+# ----------------------------------------------------------------------
+class TestCausality:
+    """The conservative protocol's safety net."""
+
+    def _worker(self) -> ShardWorker:
+        return ShardWorker(_config(), seed=1, node_ids=[0, 4])
+
+    def test_inject_into_committed_past_raises(self):
+        worker = self._worker()
+        worker.advance(10_000)
+        with pytest.raises(CausalityError):
+            worker.inject([(9_000, 10_000, 1, 0, 5_000.0)])
+
+    def test_advance_backwards_raises(self):
+        worker = self._worker()
+        worker.advance(10_000)
+        with pytest.raises(CausalityError):
+            worker.advance(9_999)
+
+    def test_future_delivery_accepted(self):
+        worker = self._worker()
+        worker.advance(10_000)
+        worker.inject([(9_000, 10_001, 1, 0, 5_000.0)])
+        rejects, resps, drops, _events = worker.advance(200_000)
+        assert rejects == [] and drops == []
+        assert len(resps) == 1
+
+    @given(nodes=st.integers(min_value=2, max_value=8),
+           shards=st.integers(min_value=2, max_value=4),
+           base=st.integers(min_value=1_000, max_value=20_000),
+           seed=st.integers(min_value=0, max_value=2**16),
+           policy=st.sampled_from(["round-robin", "random", "jsq"]))
+    @settings(max_examples=12, deadline=None)
+    def test_no_message_beats_the_lookahead(self, nodes, shards, base,
+                                            seed, policy):
+        """Property: across random topologies, every cross-shard
+        request's slack (deliver - send) is at least the advertised
+        lookahead -- no message is ever delivered earlier than its
+        send time plus the minimum link latency, so no shard window
+        can miss one."""
+        if shards > nodes:
+            shards = nodes
+        config = _config(nodes=nodes, fanout=min(2, nodes),
+                         requests=12, policy=policy, shards=shards,
+                         link=LinkSpec(base_cycles=base,
+                                       jitter_mean_cycles=base / 4))
+        result = run_cluster(config, seed=seed, transport="inline")
+        pdes = result.service.pdes
+        assert pdes["lookahead"] == request_lookahead(config)
+        assert pdes["lookahead"] == base
+        if pdes["min_slack"] is not None:
+            assert pdes["min_slack"] >= pdes["lookahead"]
+
+    def test_min_slack_reported(self):
+        """The audit trail actually observed traffic (not vacuous)."""
+        result = run_cluster(_config(shards=2), seed=2,
+                             transport="inline")
+        assert result.service.pdes["min_slack"] is not None
+        assert result.service.pdes["windows"] >= 1
+
+
+# ----------------------------------------------------------------------
+def _flatten(value, path=""):
+    out = {}
+    if isinstance(value, dict):
+        for key in value:
+            out.update(_flatten(value[key], f"{path}.{key}" if path
+                                else str(key)))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            out.update(_flatten(item, f"{path}[{index}]"))
+    else:
+        out[path] = value
+    return out
+
+
+class TestObsMerge:
+    """Sharded observability: worker-side sessions ship home and replay
+    into the client session so the merged snapshot equals the
+    single-engine one (see repro.obs.merge)."""
+
+    def _snapshot(self, config, transport="inline"):
+        with obs.session("pdes") as sess:
+            run_cluster(config, seed=13, transport=transport)
+        return sess.snapshot()
+
+    def test_model_snapshot_byte_identical(self):
+        config = _config(policy="jsq", requests=24)
+        single = self._snapshot(config)
+        sharded = self._snapshot(scaled(config, shards=4))
+        assert single == sharded
+
+    def test_process_transport_snapshot_matches_inline(self):
+        config = _config(requests=24, shards=2)
+        assert (self._snapshot(config, "process")
+                == self._snapshot(config, "inline"))
+
+    def test_isa_snapshot_identical_up_to_host_engine(self):
+        """ISA machines run on the hosting engine, so two quantities
+        describe the host rather than the simulation: ``engine.*``
+        harvest counters and the profiler's issue/fastforward split of
+        idle cycles (their per-core sum is preserved). Everything else
+        must match exactly."""
+        config = _config(nodes=4, fanout=2, requests=8, backend="isa",
+                         mean_service_cycles=4_000)
+        single = _flatten(self._snapshot(config))
+        sharded = _flatten(self._snapshot(scaled(config, shards=2)))
+        assert single.keys() == sharded.keys()
+
+        def host_engine(path):
+            return ("engine." in path or path.endswith(".issue")
+                    or path.endswith(".fastforward"))
+
+        diffs = [path for path in single
+                 if single[path] != sharded[path]]
+        assert diffs, "expected host-engine artifacts to differ"
+        assert all(host_engine(path) for path in diffs), diffs
+        # the issue/fastforward split may shift but never the total
+        for path, value in single.items():
+            if path.endswith(".issue"):
+                twin = path[:-len("issue")] + "fastforward"
+                assert (value + single[twin]
+                        == sharded[path] + sharded[twin])
+
+
+# ----------------------------------------------------------------------
+class TestLookahead:
+    def test_uniform_topology(self):
+        config = _config(link=LinkSpec(base_cycles=3_333))
+        assert request_lookahead(config) == 3_333
+        assert node_link_spec(config, 3) is config.link
+
+    def test_cross_rack_spec_applies_off_rack_zero(self):
+        cross = LinkSpec(base_cycles=50_000)
+        config = _config(racks=2, cross_rack_link=cross)
+        assert node_link_spec(config, 0) is config.link
+        assert node_link_spec(config, 1) is cross
