@@ -9,7 +9,7 @@ trajectory to compare against:
   timer chain -- every simulated cycle is one heap pop + one push);
 - ``core``: simulated cycles/sec of an SMT core grinding through
   ``work`` bursts, with the busy-cycle fast-forward on and off;
-- ``evaluation``: end-to-end wall-clock of the full and quick E01-E15
+- ``evaluation``: end-to-end wall-clock of the full and quick E01-E16
   evaluations (serial, in-process);
 - ``instrumentation``: the cost of the observability layer, measured as
   an interleaved best-of-N A/B in one process (container wall-clock

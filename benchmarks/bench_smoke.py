@@ -37,6 +37,7 @@ def main() -> int:
     from benchmarks.bench_engine_throughput import bench_engine_dispatch
     import benchmarks.bench_e14_cluster as e14
     import benchmarks.bench_e15_backends as e15
+    import benchmarks.bench_e16_spans as e16_spans
 
     engine_base = json.loads((ROOT / "BENCH_engine.json").read_text())
     cluster_base = json.loads(cb.OUTPUT.read_text())
@@ -56,6 +57,26 @@ def main() -> int:
                   cell["cluster_run"]["events_per_sec"],
                   fresh["events_per_sec"], failures)
     os.environ.pop("REPRO_ENGINE_QUEUE", None)
+
+    # tracing A/B (fresh, interleaved in this process): span hooks must
+    # stay free when tracing is off -- the disabled pass runs the exact
+    # same untraced code as the reference, so a *consistent* gap is a
+    # real regression (a hook doing work outside its ``store is None``
+    # guard). One attempt's wall-clock wobble on a shared container is
+    # larger than the 3% budget, so the gate retries: noise does not
+    # survive four independent A/Bs, a real regression shows in all
+    for attempt in range(4):
+        ab = e16_spans.tracing_ab()
+        if ab["disabled_overhead_pct"] <= 3.0:
+            break
+    status = "ok" if ab["disabled_overhead_pct"] <= 3.0 else "REGRESSED"
+    print(f"{'e16.tracing[disabled]':42s} overhead "
+          f"{ab['disabled_overhead_pct']:6.2f}%  budget   3.00%  "
+          f"(attempt {attempt + 1})  {status}")
+    print(f"{'e16.tracing[enabled]':42s} overhead "
+          f"{ab['enabled_overhead_pct']:6.2f}%  (informational)")
+    if ab["disabled_overhead_pct"] > 3.0:
+        failures.append("e16.tracing[disabled]")
 
     # PDES shard scaling (process transport, default store): the same
     # sweep cell at 1/2/4 shard workers, each gated independently

@@ -156,6 +156,8 @@ def observability_markdown() -> str:
     )
     from repro.obs.profile import BUCKETS
     from repro.obs.snapshot import NAMESPACE
+    from repro.obs.spans import COMPONENTS as SPAN_COMPONENTS
+    from repro.obs.spans import DEFAULT_TOP_K as SPAN_DEFAULT_TOP_K
     from repro.obs.timeline import ThreadState
 
     lines = [
@@ -245,6 +247,69 @@ def observability_markdown() -> str:
         "The invariant -- enforced by `CoreProfile.snapshot` and checked",
         "on every experiment in `tests/test_obs_profile.py` -- is that",
         "the buckets sum *exactly* to `engine.now` for every core.",
+        "",
+        "## Tracing",
+        "",
+        "`repro.obs.spans` adds per-request distributed tracing over",
+        "the cluster layer: every request becomes a span tree -- client",
+        "send, balancer pick, fabric hop, node admission, backend",
+        "service, reply hop, plus hedged-attempt siblings -- and the",
+        "tree's **critical path** decomposes the end-to-end latency",
+        "*exactly* into seven components:",
+        "",
+    ]
+    lines += [f"- `{name}`" for name in SPAN_COMPONENTS]
+    lines += [
+        "",
+        "The conservation invariant (a hypothesis property test in",
+        "`tests/test_spans.py` pins it): for every completed request",
+        "the components are non-negative and sum to `settled - arrived`,",
+        "cycle for cycle. `queue` is the node-phase residual -- backlog,",
+        "PS/FIFO sharing, and (isa backend) the machine-charged wakeup/",
+        "dispatch cycles -- and every other component is a lower bound",
+        "the simulation itself enforces.",
+        "",
+        "Sampling is tail-based: full trees are retained only for the",
+        "`top_k` slowest requests (default",
+        f"{SPAN_DEFAULT_TOP_K}) plus a deterministic",
+        "1-in-`sample_every` sample by request id (0 disables); every",
+        "completed request still feeds the per-component histograms and",
+        "the exact per-request decomposition behind",
+        "`SpanStore.percentile_request`. Tracing is ambient and",
+        "zero-cost when off -- every emitter captures the active store",
+        "at construction and guards on one attribute-is-None check --",
+        "and PDES-aware: shard workers record node fragments locally",
+        "and ship them home, so a sharded run reproduces the",
+        "single-engine span payload byte for byte.",
+        "",
+        "```python",
+        "import repro.obs.spans as spans",
+        "from repro.cluster import ClusterConfig, run_cluster",
+        "",
+        "with spans.tracing(top_k=8) as store:",
+        "    run_cluster(config, seed=7)",
+        "p99 = store.percentile_request(99.0)   # exact decomposition",
+        "trees = store.exemplars()              # the retained span trees",
+        "```",
+        "",
+        "From the CLI:",
+        "",
+        "```",
+        "python -m repro trace --design sw-threads --nodes 8 --top 5",
+        "python -m repro cluster --design all --span-trace spans.json",
+        "python -m repro run E16 --quick --spans trees.json \\",
+        "    --span-trace spans.trace.json",
+        "python -m repro evaluate --quick --spans spans-dir/",
+        "```",
+        "",
+        "`trace` pretty-prints the K slowest trees with per-component",
+        "percentages; the `--span-trace` files are Perfetto/Chrome",
+        "trace-event JSON where each request is a process whose",
+        "`critical path` lane tiles `[start, end]` exactly. E16 (tail",
+        "anatomy) is the experiment built on this layer: it dissects",
+        "the p50-vs-p99 critical paths per design and ties the growing",
+        "sw-threads tail to the switch-tax component plus the queueing",
+        "it induces.",
         "",
     ]
     return "\n".join(lines)

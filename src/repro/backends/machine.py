@@ -103,6 +103,9 @@ class MachineBackend:
         self.completed = 0
         self.active = 0
         self.peak_concurrency = 0
+        #: distributed-tracing sink (a SpanStore); set by the cluster
+        #: node when request tracing is active, else stays None
+        self.span_sink = None
         if design.name == "event-loop":
             slots = 1           # single-threaded by definition
         self.machine = Machine(
@@ -138,12 +141,24 @@ class MachineBackend:
             raise ConfigError("request needs at least one segment")
         self.active += 1
         self.peak_concurrency = max(self.peak_concurrency, self.active)
+        work = self._work_cycles(segment_cycles)
         pending = _Pending(
             request_id=request_id,
-            segments=self._work_cycles(segment_cycles),
+            segments=work,
             rtt_cycles=max(1, rtt_cycles),
             arrived=self.engine.now,
             on_done=on_done)
+        if self.span_sink is not None:
+            # everything known analytically at submit: the per-segment
+            # tax folded into the work immediates and the remote-call
+            # RTT lower bound between segments. What the machine itself
+            # charges on top (wakeups, dispatch, slot drain, issue-slot
+            # sharing) lands in the trace's queue residual.
+            nsegs = len(work)
+            tax = self._segment_tax() * nsegs
+            self.span_sink.node_demand(
+                request_id, sum(work) - tax, tax,
+                max(1, rtt_cycles) * (nsegs - 1))
         self._backlog.append(pending)
         self._dispatch()
 
@@ -153,19 +168,23 @@ class MachineBackend:
                        for t in self.machine.core(0).threads))
 
     # ------------------------------------------------------------------
+    def _segment_tax(self) -> int:
+        """The analytic per-segment tax at the crowding level observed
+        now (0 for hw-threads: the machine charges its own wakeups)."""
+        if self.design.name == "hw-threads":
+            return 0
+        crowd = 0
+        if self.resident_threads is not None:
+            crowd = self.resident_threads + max(self.active - 1, 0)
+        return self.design.transition_overhead_cycles(self.costs,
+                                                      crowd=crowd)
+
     def _work_cycles(self, segment_cycles: List[float]) -> List[int]:
         """Per-segment ``work`` immediates: demand plus any analytic tax.
 
         hw-threads adds nothing -- the machine charges its own wakeups.
         """
-        if self.design.name == "hw-threads":
-            tax = 0
-        else:
-            crowd = 0
-            if self.resident_threads is not None:
-                crowd = self.resident_threads + max(self.active - 1, 0)
-            tax = self.design.transition_overhead_cycles(self.costs,
-                                                         crowd=crowd)
+        tax = self._segment_tax()
         return [max(1, int(round(seg))) + tax for seg in segment_cycles]
 
     def _dispatch(self) -> None:

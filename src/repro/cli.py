@@ -5,12 +5,15 @@ Subcommands:
 - ``list`` -- the registered experiments with their paper anchors;
 - ``run E03 [--quick] [--trace out.json] [--metrics out.json]`` -- one
   experiment, optionally with a Perfetto trace and a metrics snapshot;
-- ``evaluate [--quick] [--markdown] [--metrics DIR]`` -- the full
-  E01-E15 evaluation, optionally writing one metrics snapshot per
-  experiment;
+- ``evaluate [--quick] [--markdown] [--metrics DIR] [--spans DIR]`` --
+  the full E01-E16 evaluation, optionally writing one metrics snapshot
+  per experiment and the traced experiments' span-tree artifacts;
 - ``cluster [--nodes N] [--design D] [--policy P] [--fanout F]`` -- one
   multi-machine cluster run (see :mod:`repro.cluster`) with its summary
   table, optionally traced/snapshotted like ``run``;
+- ``trace [--top K]`` -- run one traced cluster and pretty-print the K
+  slowest requests' span trees with per-component percentages
+  (:mod:`repro.obs.spans`);
 - ``profile E03`` -- the cycle-attribution profile of one experiment;
 - ``sensitivity`` -- the cost-model break-even analysis.
 """
@@ -49,6 +52,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", metavar="FILE", default=None,
                      dest="metrics_path",
                      help="write the run's metrics snapshot as JSON")
+    run.add_argument("--span-trace", metavar="FILE", default=None,
+                     dest="span_trace_path",
+                     help="export the experiment's retained span trees "
+                          "as Perfetto trace-event JSON (traced "
+                          "experiments only, e.g. E16)")
+    run.add_argument("--spans", metavar="FILE", default=None,
+                     dest="spans_path",
+                     help="write the experiment's retained span trees "
+                          "as plain JSON (traced experiments only)")
 
     evaluate = sub.add_parser("evaluate", help="run every experiment")
     evaluate.add_argument("--quick", action="store_true")
@@ -62,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           dest="metrics_dir",
                           help="write one metrics-snapshot JSON per "
                                "experiment into DIR")
+    evaluate.add_argument("--spans", metavar="DIR", default=None,
+                          dest="spans_dir",
+                          help="write the traced experiments' span-tree "
+                               "exemplars into DIR (JSON + Perfetto "
+                               "trace per experiment)")
 
     cluster = sub.add_parser(
         "cluster",
@@ -105,6 +122,43 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--metrics", metavar="FILE", default=None,
                          dest="metrics_path",
                          help="write the run's metrics snapshot as JSON")
+    cluster.add_argument("--span-trace", metavar="FILE", default=None,
+                         dest="span_trace_path",
+                         help="trace every request and export the "
+                              "retained span trees as Perfetto "
+                              "trace-event JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced cluster and pretty-print the slowest "
+             "requests' span trees (critical-path decomposition)")
+    trace.add_argument("--top", type=int, default=5, metavar="K",
+                       help="render the K slowest requests (default 5)")
+    trace.add_argument("--nodes", type=int, default=8)
+    trace.add_argument("--design", default="sw-threads",
+                       help="hw-threads | sw-threads | event-loop")
+    trace.add_argument("--backend", default="model",
+                       help="'model' or 'isa'")
+    trace.add_argument("--policy", default="round-robin",
+                       help="random | round-robin | jsq | p2c")
+    trace.add_argument("--fanout", type=int, default=1)
+    trace.add_argument("--load", type=float, default=0.6)
+    trace.add_argument("--requests", type=int, default=500)
+    trace.add_argument("--queue-limit", type=int, default=None)
+    trace.add_argument("--hedge-after", type=int, default=None,
+                       metavar="CYCLES")
+    trace.add_argument("--shards", type=int, default=1)
+    trace.add_argument("--shard-transport", default="process",
+                       choices=("process", "inline"))
+    trace.add_argument("--seed", type=lambda v: int(v, 0),
+                       default=0xC0FFEE)
+    trace.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the full span payload as JSON instead "
+                            "of rendered trees")
+    trace.add_argument("--span-trace", metavar="FILE", default=None,
+                       dest="span_trace_path",
+                       help="also export the trees as Perfetto "
+                            "trace-event JSON")
 
     profile = sub.add_parser("profile",
                              help="cycle-attribution profile of one "
@@ -136,9 +190,20 @@ def _cmd_list() -> int:
     return 0
 
 
+def _write_span_trace(path: str, trees) -> None:
+    """``trees`` is ``[(label, tree), ...]`` span trees."""
+    from repro.obs.export import span_trace, write_trace
+
+    write_trace(path, span_trace(trees))
+    print(f"span trace written to {path} (open in ui.perfetto.dev)",
+          file=sys.stderr)
+
+
 def _cmd_run(experiment_id: str, quick: bool, seed: int,
              as_json: bool = False, trace_path: Optional[str] = None,
-             metrics_path: Optional[str] = None) -> int:
+             metrics_path: Optional[str] = None,
+             span_trace_path: Optional[str] = None,
+             spans_path: Optional[str] = None) -> int:
     from repro.errors import ReproError
     from repro.experiments import get_experiment
 
@@ -166,6 +231,25 @@ def _cmd_run(experiment_id: str, quick: bool, seed: int,
                   file=sys.stderr)
     else:
         result = experiment.run(quick=quick, seed=seed)
+    if span_trace_path or spans_path:
+        import json
+
+        from repro.experiments.parallel import span_artifacts
+
+        trees = span_artifacts([result]).get(experiment.experiment_id)
+        if not trees:
+            print(f"error: {experiment.experiment_id} publishes no span "
+                  f"trees; only traced experiments (e.g. E16) support "
+                  f"--span-trace/--spans", file=sys.stderr)
+            return 2
+        if spans_path:
+            with open(spans_path, "w", encoding="utf-8") as handle:
+                json.dump(trees, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"span trees written to {spans_path}", file=sys.stderr)
+        if span_trace_path:
+            _write_span_trace(span_trace_path,
+                              [(t["label"], t["tree"]) for t in trees])
     print(result.to_json() if as_json else result.render())
     return 0 if result.all_supported() else 1
 
@@ -221,7 +305,9 @@ def _cmd_isa() -> int:
 
 
 def _cmd_evaluate(quick: bool, markdown: bool, parallel: int = 1,
-                  metrics_dir: Optional[str] = None) -> int:
+                  metrics_dir: Optional[str] = None,
+                  spans_dir: Optional[str] = None) -> int:
+    import json
     import os
 
     from repro.errors import ReproError
@@ -246,6 +332,23 @@ def _cmd_evaluate(quick: bool, markdown: bool, parallel: int = 1,
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    if spans_dir is not None:
+        from repro.experiments.parallel import span_artifacts
+        from repro.obs.export import span_trace, write_trace
+
+        artifacts = span_artifacts(results)
+        os.makedirs(spans_dir, exist_ok=True)
+        for experiment_id, trees in artifacts.items():
+            path = os.path.join(spans_dir, f"{experiment_id}-spans.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(trees, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            write_trace(
+                os.path.join(spans_dir,
+                             f"{experiment_id}-spans.trace.json"),
+                span_trace([(t["label"], t["tree"]) for t in trees]))
+        print(f"span artifacts for {len(artifacts)} traced experiments "
+              f"written to {spans_dir}", file=sys.stderr)
     failures: List[str] = []
     for result in results:
         print(result.render_markdown() if markdown else result.render())
@@ -260,7 +363,9 @@ def _cmd_evaluate(quick: bool, markdown: bool, parallel: int = 1,
 
 def _cmd_cluster(args) -> int:
     import json
+    from contextlib import nullcontext
 
+    import repro.obs.spans as spans
     from repro.analysis.tables import Table
     from repro.cluster import (
         DESIGNS,
@@ -274,6 +379,7 @@ def _cmd_cluster(args) -> int:
     names = (list(DESIGNS) if args.design == "all"
              else [args.design])
     summaries = {}
+    span_trees = []
     try:
         for name in names:
             config = ClusterConfig(
@@ -283,29 +389,39 @@ def _cmd_cluster(args) -> int:
                 hedge_after=args.hedge_after,
                 link=LinkSpec(drop_prob=args.drop_prob),
                 backend=args.backend, shards=args.shards)
-            if args.trace_path or args.metrics_path:
-                import repro.obs as obs
+            tracing = (spans.tracing() if args.span_trace_path
+                       else nullcontext(None))
+            with tracing as store:
+                if args.trace_path or args.metrics_path:
+                    import repro.obs as obs
 
-                with obs.session(f"cluster.{name}") as sess:
+                    with obs.session(f"cluster.{name}") as sess:
+                        result = run_cluster(
+                            config, seed=args.seed,
+                            transport=args.shard_transport)
+                    if args.trace_path:
+                        from repro.obs.export import write_trace
+                        write_trace(args.trace_path, sess.chrome_trace())
+                        print(f"trace written to {args.trace_path} "
+                              f"(open in ui.perfetto.dev)",
+                              file=sys.stderr)
+                    if args.metrics_path:
+                        from repro.obs.snapshot import write_snapshot
+                        write_snapshot(args.metrics_path, sess.snapshot())
+                        print(f"metrics snapshot written to "
+                              f"{args.metrics_path}", file=sys.stderr)
+                else:
                     result = run_cluster(config, seed=args.seed,
                                          transport=args.shard_transport)
-                if args.trace_path:
-                    from repro.obs.export import write_trace
-                    write_trace(args.trace_path, sess.chrome_trace())
-                    print(f"trace written to {args.trace_path} "
-                          f"(open in ui.perfetto.dev)", file=sys.stderr)
-                if args.metrics_path:
-                    from repro.obs.snapshot import write_snapshot
-                    write_snapshot(args.metrics_path, sess.snapshot())
-                    print(f"metrics snapshot written to "
-                          f"{args.metrics_path}", file=sys.stderr)
-            else:
-                result = run_cluster(config, seed=args.seed,
-                                     transport=args.shard_transport)
+            if store is not None:
+                span_trees.extend((name, tree)
+                                  for tree in store.exemplars())
             summaries[name] = result.summary
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    if args.span_trace_path:
+        _write_span_trace(args.span_trace_path, span_trees)
     if args.as_json:
         print(json.dumps(summaries, indent=1, sort_keys=True))
     else:
@@ -330,6 +446,54 @@ def _cmd_cluster(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    import repro.obs.spans as spans
+    from repro.cluster import ClusterConfig, get_design, run_cluster
+    from repro.errors import ReproError
+
+    if args.top < 1:
+        print(f"error: --top must be >= 1, got {args.top}",
+              file=sys.stderr)
+        return 2
+    try:
+        config = ClusterConfig(
+            nodes=args.nodes, design=get_design(args.design),
+            policy=args.policy, fanout=args.fanout, load=args.load,
+            requests=args.requests, queue_limit=args.queue_limit,
+            hedge_after=args.hedge_after, backend=args.backend,
+            shards=args.shards)
+        with spans.tracing(top_k=args.top) as store:
+            run_cluster(config, seed=args.seed,
+                        transport=args.shard_transport)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(store.payload(), indent=1, sort_keys=True))
+    else:
+        trees = sorted(store.exemplars(),
+                       key=lambda tree: (-(tree["latency"] or 0),
+                                         tree["request_id"]))
+        for tree in trees[:args.top]:
+            print(spans.render_tree(tree))
+            print()
+        completed = store.paths()
+        if completed:
+            p50 = store.percentile_request(50.0)["latency"]
+            p99 = store.percentile_request(99.0)["latency"]
+            print(f"{len(completed)} completed requests traced; "
+                  f"p50 {p50:,} / p99 {p99:,} cycles")
+        else:
+            print("no completed requests were traced")
+    if args.span_trace_path:
+        _write_span_trace(args.span_trace_path,
+                          [(args.design, tree)
+                           for tree in store.exemplars()])
+    return 0
+
+
 def _cmd_sensitivity() -> int:
     from repro.experiments.sensitivity import sensitivity_table
 
@@ -347,12 +511,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "run":
             return _cmd_run(args.experiment_id, args.quick, args.seed,
                             args.as_json, args.trace_path,
-                            args.metrics_path)
+                            args.metrics_path, args.span_trace_path,
+                            args.spans_path)
         if args.command == "evaluate":
             return _cmd_evaluate(args.quick, args.markdown, args.parallel,
-                                 args.metrics_dir)
+                                 args.metrics_dir, args.spans_dir)
         if args.command == "cluster":
             return _cmd_cluster(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args.experiment_id, args.quick, args.seed)
         if args.command == "sensitivity":

@@ -75,6 +75,14 @@ class ClusterNode:
             self._obs_timeline = session.timeline
             self._obs_track = session.register_track(
                 f"{prefix}.{design.name}")
+        # distributed tracing: node-side span fragments (admission,
+        # completion, and -- via the backend's sink -- demand). Unlike
+        # register_obs this is NOT suppressed in PDES shard workers:
+        # fragments are recorded where the node lives and shipped home.
+        import repro.obs.spans as spans
+        self._spans = spans.active()
+        if self._spans is not None:
+            self.server.span_sink = self._spans
 
     # ------------------------------------------------------------------
     @property
@@ -97,22 +105,30 @@ class ClusterNode:
                 and self._in_flight >= self.queue_limit:
             self.rejected += 1
             self.tracer.count("cluster node rejected")
+            if self._spans is not None:
+                self._spans.node_reject(request_id, self.engine.now)
             return False
         self.admitted += 1
         self._in_flight += 1
         self.tracer.count("cluster node admitted")
+        if self._spans is not None:
+            self._spans.node_admit(request_id, self.engine.now)
         if self._obs_timeline is not None and self._in_flight == 1:
             self._obs_timeline.transition(self._obs_track, 0,
                                           ThreadState.RUNNING,
                                           self.engine.now)
         self.server.submit(request_id, list(segment_cycles), rtt_cycles,
-                           on_done=lambda: self._finished(on_done))
+                           on_done=lambda: self._finished(request_id,
+                                                          on_done))
         return True
 
-    def _finished(self, on_done: Optional[Callable[[], None]]) -> None:
+    def _finished(self, request_id: int,
+                  on_done: Optional[Callable[[], None]]) -> None:
         self._in_flight -= 1
         self.completed += 1
         self.tracer.count("cluster node completed")
+        if self._spans is not None:
+            self._spans.node_done(request_id, self.engine.now)
         if self._obs_timeline is not None and self._in_flight == 0:
             self._obs_timeline.transition(self._obs_track, 0,
                                           ThreadState.MWAIT,

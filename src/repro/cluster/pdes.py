@@ -233,6 +233,8 @@ class ShardedClusterService(ClusterService):
         if spec.drop_prob > 0.0 and rng.random() < spec.drop_prob:
             fabric.dropped += 1
             self.request_wire_drops += 1
+            if self._spans is not None:
+                self._spans.attempt_request_dropped(attempt_id)
             self._attempt_failed(state, shard_index)
             return
         delay = spec.sample_delay(rng)
@@ -301,13 +303,15 @@ class ShardedClusterService(ClusterService):
         fabric.latency_cycles += delay
         fabric.in_flight += 1
         self.responses_on_wire += 1
-        self.engine.after(delay, self._remote_response, state, shard_index)
+        self.engine.after(delay, self._remote_response, state, shard_index,
+                          attempt_id)
 
-    def _remote_response(self, state, shard_index: int) -> None:
+    def _remote_response(self, state, shard_index: int,
+                         attempt_id: int) -> None:
         fabric = self.fabric
         fabric.in_flight -= 1
         fabric.delivered += 1
-        self._response(state, shard_index)
+        self._response(state, shard_index, attempt_id)
 
     def _remote_finished_dropped(self, attempt_id: int) -> None:
         state, shard_index, node = self._pop_attempt(attempt_id)
@@ -316,6 +320,8 @@ class ShardedClusterService(ClusterService):
         fabric.sent += 1
         fabric.dropped += 1
         self.response_wire_drops += 1
+        if self._spans is not None:
+            self._spans.attempt_response_dropped(attempt_id)
         self._attempt_failed(state, shard_index)
 
 
@@ -354,7 +360,8 @@ class ShardWorker:
 
     def __init__(self, config: ClusterConfig, seed: int,
                  node_ids: Sequence[int],
-                 collect_obs: bool = False) -> None:
+                 collect_obs: bool = False,
+                 collect_spans: bool = False) -> None:
         self.engine = Engine()
         costs = CostModel()
         label = config.workload_label()
@@ -370,10 +377,17 @@ class ShardWorker:
         # per-node marks let export_obs ship them back per node so the
         # coordinator can re-register them in global node order
         import repro.obs as obs
+        import repro.obs.spans as spans
         self.obs_session = obs.Session("shard") if collect_obs else None
+        # distributed tracing: node-side span fragments land in a
+        # worker-local store (attempt ids are globally unique, so the
+        # coordinator's merge is a disjoint union) and ship home with
+        # the final stats
+        self.span_store = spans.SpanStore() if collect_spans else None
         self._node_order = list(node_ids)
         self._obs_marks: List[Tuple[int, int, int]] = []
-        with _obs_redirected(self.obs_session):
+        with _obs_redirected(self.obs_session), \
+                spans._redirected(self.span_store):
             for node_id in node_ids:
                 self._obs_marks.append(self._obs_mark())
                 node = ClusterNode(self.engine, node_id, config.design,
@@ -489,6 +503,13 @@ class ShardWorker:
         return {"nodes": blocks, "extra": leftover,
                 "dropped": timeline.dropped}
 
+    def export_spans(self) -> Optional[Dict[str, Any]]:
+        """The worker's span fragments, picklable, or None when
+        tracing is off."""
+        if self.span_store is None:
+            return None
+        return self.span_store.export_fragments()
+
     # -- simulation callbacks ---------------------------------------
     def _deliver_later(self, deliver_ts: int, attempt_id: int,
                        node: ClusterNode, cycles: float) -> None:
@@ -554,11 +575,14 @@ class _InlineShard:
     must match byte for byte."""
 
     def __init__(self, config: ClusterConfig, seed: int,
-                 node_ids: Sequence[int], collect_obs: bool) -> None:
+                 node_ids: Sequence[int], collect_obs: bool,
+                 collect_spans: bool) -> None:
         self.worker = ShardWorker(config, seed, node_ids,
-                                  collect_obs=collect_obs)
+                                  collect_obs=collect_obs,
+                                  collect_spans=collect_spans)
         self._batch: Optional[Tuple] = None
         self.obs_payload: Optional[Dict[str, Any]] = None
+        self.span_payload: Optional[Dict[str, Any]] = None
         self.spin_hits = 0
         self.parks = 0
 
@@ -575,6 +599,7 @@ class _InlineShard:
 
     def finish(self) -> Dict[int, Tuple]:
         self.obs_payload = self.worker.export_obs()
+        self.span_payload = self.worker.export_spans()
         return self.worker.final_stats()
 
     def stop(self) -> None:
@@ -582,11 +607,13 @@ class _InlineShard:
 
 
 def _shard_main(conn, config: ClusterConfig, seed: int,
-                node_ids: Sequence[int], collect_obs: bool) -> None:
+                node_ids: Sequence[int], collect_obs: bool,
+                collect_spans: bool) -> None:
     """Worker-process entry point: a command loop over the pipe."""
     try:
         worker = ShardWorker(config, seed, node_ids,
-                             collect_obs=collect_obs)
+                             collect_obs=collect_obs,
+                             collect_spans=collect_spans)
         waiter = SpinParkWaiter()
         while True:
             waiter.wait(conn.poll)
@@ -599,7 +626,7 @@ def _shard_main(conn, config: ClusterConfig, seed: int,
             elif tag == "finish":
                 conn.send(("stats", worker.final_stats(),
                            waiter.spin_hits, waiter.parks,
-                           worker.export_obs()))
+                           worker.export_obs(), worker.export_spans()))
             elif tag == "stop":
                 return
             else:  # pragma: no cover - protocol guard
@@ -629,16 +656,18 @@ class _ProcessShard:
     """
 
     def __init__(self, config: ClusterConfig, seed: int,
-                 node_ids: Sequence[int], ctx, collect_obs: bool) -> None:
+                 node_ids: Sequence[int], ctx, collect_obs: bool,
+                 collect_spans: bool) -> None:
         self.conn, child = ctx.Pipe()
         self.proc = ctx.Process(target=_shard_main,
                                 args=(child, config, seed, list(node_ids),
-                                      collect_obs),
+                                      collect_obs, collect_spans),
                                 daemon=True)
         self.proc.start()
         child.close()
         self.waiter = SpinParkWaiter()
         self.obs_payload: Optional[Dict[str, Any]] = None
+        self.span_payload: Optional[Dict[str, Any]] = None
         self.spin_hits = 0
         self.parks = 0
 
@@ -669,6 +698,7 @@ class _ProcessShard:
             raise SimulationError(f"expected stats, got {msg[0]!r}")
         self.spin_hits, self.parks = msg[2], msg[3]
         self.obs_payload = msg[4]
+        self.span_payload = msg[5]
         return msg[1]
 
     def stop(self) -> None:
@@ -911,13 +941,10 @@ def _merge_worker_obs(session, payloads: Sequence[Optional[Dict]]) -> None:
     """Replay the workers' harvested observability into the client
     session, in global node order, so per-kind source indices (and with
     them every metric name) come out exactly as the single-engine run
-    would have allocated them. Byte-identical for the behavioral
-    backend; for ISA machine digests everything round-trips exactly
-    except two host-engine artifacts: the ``engine.*`` counters (they
-    count the hosting engine's event loop, a per-shard quantity) and
-    the profiler's issue/fastforward split (how idle cycles divide
-    between stepping and fast-forwarding depends on the host engine's
-    event pattern; the per-core totals are preserved)."""
+    would have allocated them. Byte-identical for both backends: every
+    digested quantity is a pure function of the simulation history
+    (host-engine artifacts are excluded at the harvest itself, see
+    :mod:`repro.obs.merge`)."""
     from repro.obs.merge import import_timeline, merge_at, replay_source
     blocks: Dict[int, Dict[str, Any]] = {}
     extras = []
@@ -1005,21 +1032,26 @@ def run_sharded(config: ClusterConfig, seed: int = 0xC0FFEE,
     drive_workload(service, config, streams, distribution)
 
     import repro.obs as obs
+    import repro.obs.spans as spans
     session = obs.active()
     collect_obs = session is not None
+    span_store = spans.active()
+    collect_spans = span_store is not None
     if (transport == "process"
             and multiprocessing.current_process().daemon):
         # daemonic pool workers (the parallel evaluation runner) may
         # not fork children; inline shards produce the same bytes
         transport = "inline"
     if transport == "inline":
-        shards: List[Any] = [_InlineShard(config, seed, ids, collect_obs)
+        shards: List[Any] = [_InlineShard(config, seed, ids, collect_obs,
+                                          collect_spans)
                              for ids in partitions]
     else:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
-        shards = [_ProcessShard(config, seed, ids, ctx, collect_obs)
+        shards = [_ProcessShard(config, seed, ids, ctx, collect_obs,
+                                collect_spans)
                   for ids in partitions]
     try:
         decoupled = (config.policy in OUTBOUND_INDEPENDENT
@@ -1036,6 +1068,9 @@ def run_sharded(config: ClusterConfig, seed: int = 0xC0FFEE,
     _fold_final_stats(service, proxies, finals)
     if collect_obs:
         _merge_worker_obs(session, [shard.obs_payload for shard in shards])
+    if collect_spans:
+        for shard in shards:
+            span_store.merge_fragments(shard.span_payload)
     stats.update({
         "transport": transport,
         "shards": config.shards,

@@ -120,6 +120,10 @@ class ClusterService:
                                              self._fill_metrics)
             self._obs_latency = session.registry.histogram(
                 f"{prefix}.latency_cycles")
+        # distributed tracing: the ambient span store (None when off --
+        # every hook below is a single attribute-is-None guard)
+        import repro.obs.spans as spans
+        self._spans = spans.active()
 
     # ------------------------------------------------------------------
     def submit(self, request_id: int,
@@ -132,6 +136,9 @@ class ClusterService:
         state = _RequestState(request_id=request_id,
                               arrived=self.engine.now,
                               remaining=self.fanout)
+        if self._spans is not None:
+            self._spans.request_begin(request_id, state.arrived,
+                                      self.fanout)
         self.issued += 1
         self.in_flight += 1
         self.tracer.count("cluster issued")
@@ -157,6 +164,11 @@ class ClusterService:
         # the sharded runtime relies on this to name attempts
         # identically on both sides of a process boundary
         self._next_shard_req += 1
+        if self._spans is not None:
+            self._spans.attempt_launch(
+                state.request_id, shard_index, self._next_shard_req,
+                node.name, self.engine.now,
+                hedged=len(shard.tried) > 1)
         self._send_request(state, shard_index, cycles, node,
                            self._next_shard_req)
 
@@ -172,6 +184,8 @@ class ClusterService:
             self.requests_on_wire += 1
         else:
             self.request_wire_drops += 1
+            if self._spans is not None:
+                self._spans.attempt_request_dropped(attempt_id)
             self._attempt_failed(state, shard_index)
 
     def _arrive(self, state: _RequestState, shard_index: int,
@@ -180,32 +194,40 @@ class ClusterService:
         per_segment = [max(1.0, cycles) / self.segments] * self.segments
         accepted = node.offer(
             attempt_id, per_segment, self.rtt_cycles,
-            on_done=lambda: self._node_finished(state, shard_index, node))
+            on_done=lambda: self._node_finished(state, shard_index, node,
+                                                attempt_id))
         if not accepted:
             self.rejected += 1
             self._attempt_failed(state, shard_index)
 
     def _node_finished(self, state: _RequestState, shard_index: int,
-                       node: ClusterNode) -> None:
+                       node: ClusterNode, attempt_id: int) -> None:
         delivered = self.fabric.send(node.name, CLIENT, self._response,
-                                     state, shard_index)
+                                     state, shard_index, attempt_id)
         if delivered:
             self.responses_on_wire += 1
         else:
             self.response_wire_drops += 1
+            if self._spans is not None:
+                self._spans.attempt_response_dropped(attempt_id)
             self._attempt_failed(state, shard_index)
 
-    def _response(self, state: _RequestState, shard_index: int) -> None:
+    def _response(self, state: _RequestState, shard_index: int,
+                  attempt_id: int) -> None:
         self.responses_on_wire -= 1
         shard = state.shards[shard_index]
         shard.outstanding -= 1
         if state.settled or shard.done:
             # a duplicate (hedged) or post-settlement response
             self.late_responses += 1
+            if self._spans is not None:
+                self._spans.attempt_late(attempt_id, self.engine.now)
             return
         shard.done = True
         self.shards_completed += 1
         state.remaining -= 1
+        if self._spans is not None:
+            self._spans.attempt_won(attempt_id, self.engine.now)
         if state.remaining == 0:
             state.settled = True
             self.completed += 1
@@ -215,6 +237,12 @@ class ClusterService:
             self.tracer.count("cluster completed")
             if self._obs_latency is not None:
                 self._obs_latency.record(latency)
+            if self._spans is not None:
+                # the attempt settling the request is, by construction,
+                # the winner of the slowest shard: the critical path
+                self._spans.request_settled(state.request_id,
+                                            self.engine.now, "completed",
+                                            critical_attempt=attempt_id)
 
     # ------------------------------------------------------------------
     def _attempt_failed(self, state: _RequestState,
@@ -229,6 +257,9 @@ class ClusterService:
             self.dropped += 1
             self.in_flight -= 1
             self.tracer.count("cluster dropped")
+            if self._spans is not None:
+                self._spans.request_settled(state.request_id,
+                                            self.engine.now, "dropped")
 
     def _hedge(self, state: _RequestState, shard_index: int,
                cycles: float) -> None:

@@ -118,11 +118,14 @@ class _InflightRequest:
     one kick-off at arrival and one RTT timeout between segments.
     """
 
-    __slots__ = ("model", "segments", "rtt", "on_done", "arrived", "index")
+    __slots__ = ("model", "req_id", "segments", "rtt", "on_done",
+                 "arrived", "index")
 
-    def __init__(self, model: "RpcServerModel", segments: list, rtt: int,
+    def __init__(self, model: "RpcServerModel", req_id: int,
+                 segments: list, rtt: int,
                  on_done: Optional[Callable[[], None]]):
         self.model = model
+        self.req_id = req_id
         self.segments = segments
         self.rtt = rtt if rtt > 1 else 1
         self.on_done = on_done
@@ -144,6 +147,13 @@ class _InflightRequest:
         overhead = model.segment_overhead_cycles()
         seg = int(round(self.segments[self.index]))
         demand = (seg if seg > 1 else 1) + overhead
+        if model.span_sink is not None:
+            # per segment, because the crowd-scaled overhead is re-read
+            # each time: the trace carries the exact tax this segment
+            # will pay, not the arrival-time estimate
+            model.span_sink.node_demand(self.req_id,
+                                        seg if seg > 1 else 1,
+                                        overhead, 0)
         model._seg_counter += 1
         model.cpu.offer(Request(
             req_id=model._seg_counter,
@@ -157,6 +167,8 @@ class _InflightRequest:
         model = self.model
         if self.index < len(self.segments):
             # blocked on the remote call, holding no CPU
+            if model.span_sink is not None:
+                model.span_sink.node_demand(self.req_id, 0, 0, self.rtt)
             model.engine.after(self.rtt, self._offer_segment)
             return
         model.active -= 1
@@ -197,6 +209,9 @@ class RpcServerModel:
         self.completed = 0
         self.active = 0
         self.peak_concurrency = 0
+        #: distributed-tracing sink (a SpanStore); set by the cluster
+        #: node when request tracing is active, else stays None
+        self.span_sink = None
         if design.discipline == "ps":
             self.cpu: QueueingServer = ProcessorSharingServer(
                 engine, name=f"{design.name}.cpu", servers=cores)
@@ -224,8 +239,8 @@ class RpcServerModel:
         """
         if not segment_cycles:
             raise ConfigError("request needs at least one segment")
-        handler = _InflightRequest(self, list(segment_cycles), rtt_cycles,
-                                   on_done)
+        handler = _InflightRequest(self, request_id, list(segment_cycles),
+                                   rtt_cycles, on_done)
         # kick off on the next event boundary at the current time -- the
         # same interleaving discipline Engine.spawn applied here before
         # the coroutine-per-request path was retired

@@ -1,0 +1,305 @@
+"""E16: tail anatomy -- what the p99 request actually spent its time on.
+
+E14 shows *that* the software-thread transition tax is amplified by
+cluster fan-out; this experiment shows *where* the cycles go.  Every
+request is traced end to end (:mod:`repro.obs.spans`): client send,
+balancer pick, fabric hop, node admission, backend service, reply hop,
+hedged siblings.  The critical path of each completed request
+decomposes its latency **exactly** -- cycle for cycle -- into
+
+    hedge_wait + net_request + queue + service + switch_tax
+    + blocked + net_response == latency
+
+so the p50-vs-p99 tables below are not estimates: each row is the real
+decomposition of the request sitting at that percentile.
+
+The anatomy makes the paper's argument mechanically explicit: at the
+median the designs look alike (service + RTT + wire), but the p99
+request on a sw-threads cluster pays its tail in *switch tax and the
+queueing it induces* -- the per-transition overhead consumes capacity,
+so the tax shows up twice, once directly and once as extra waiting.
+On hw-threads the tax column is (near) zero and the tail is plain
+queueing, which is why the E14 sw/hw ratio ordering reappears here
+from the traced latencies alone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+import repro.obs.spans as spans
+from repro.analysis.report import ExperimentResult, Verdict
+from repro.analysis.tables import Table
+from repro.cluster import ClusterConfig, DESIGNS, run_cluster, scaled
+from repro.experiments.registry import register
+
+#: The designs compared, in reporting order.
+DESIGN_NAMES = ("hw-threads", "sw-threads", "event-loop")
+
+MEAN_SERVICE = 5_000        # ~1.7 us at 3 GHz: a microsecond-scale RPC
+SEGMENTS = 4                # three remote calls mid-request
+RTT = 20_000                # ~6.7 us network round trip
+LOAD = 0.06                 # the E14 operating point
+POLICY = "random"           # placement without load-awareness
+THREADS_PER_PEER = 4        # fan-in worker pool (the sw crowding term)
+MAX_FANOUT = 8
+
+#: Percentiles whose requests are dissected.
+PERCENTILES = (50.0, 99.0)
+
+
+def _config(**overrides) -> ClusterConfig:
+    defaults = dict(nodes=16, design=DESIGNS["hw-threads"], policy=POLICY,
+                    fanout=8, load=LOAD, mean_service_cycles=MEAN_SERVICE,
+                    segments=SEGMENTS, rtt_cycles=RTT,
+                    threads_per_peer=THREADS_PER_PEER)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _trace(config: ClusterConfig, seed: int) -> spans.SpanStore:
+    """One traced run; the store holds every completed request's exact
+    critical-path decomposition."""
+    with spans.tracing(top_k=8) as store:
+        run_cluster(config, seed=seed)
+    store.finalize()
+    return store
+
+
+def _requests_for(nodes: int, base: int) -> int:
+    """Hold the simulated time span as the cluster grows (E14's rule)."""
+    return max(base, base * nodes // 16)
+
+
+def _net(components: Dict[str, int]) -> int:
+    return (components["hedge_wait"] + components["net_request"]
+            + components["net_response"])
+
+
+def _share(components: Dict[str, int], latency: int) -> float:
+    return components["switch_tax"] / latency if latency else 0.0
+
+
+def _taxq_share(components: Dict[str, int], latency: int) -> float:
+    """Tax plus the queueing it induces: the per-transition overhead
+    consumes server capacity, so under load it is paid twice -- once
+    directly and once as the extra waiting behind everyone else's
+    transitions."""
+    if not latency:
+        return 0.0
+    return (components["switch_tax"] + components["queue"]) / latency
+
+
+def _anatomy_rows(table: Table, design_name: str,
+                  store: spans.SpanStore) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for percentile in PERCENTILES:
+        picked = store.percentile_request(percentile)
+        comp = picked["components"]
+        latency = picked["latency"]
+        key = f"p{percentile:g}"
+        out[key] = {"latency": latency, **comp,
+                    "tax_share": _share(comp, latency)}
+        table.add_row(
+            design_name, key, latency, comp["queue"], comp["service"],
+            comp["switch_tax"], comp["blocked"], _net(comp),
+            f"{100.0 * _share(comp, latency):.1f}%")
+    return out
+
+
+def _conservation(store: spans.SpanStore) -> Tuple[int, int]:
+    """(requests checked, violations) -- must come back (N, 0)."""
+    bad = 0
+    for latency, _seq, _request_id, comp in store.paths():
+        if sum(comp.values()) != latency or any(v < 0
+                                                for v in comp.values()):
+            bad += 1
+    return len(store.paths()), bad
+
+
+@register("E16", "Tail anatomy: critical-path decomposition of the p99",
+          'Section 1, "multiplexing ... is expensive" (dissected)')
+def run(quick: bool = False, seed: int = 0xC0FFEE) -> ExperimentResult:
+    node_counts: Tuple[int, ...] = (2, 8, 16) if quick else (2, 4, 8, 16, 32)
+    requests = 300 if quick else 900
+    result = ExperimentResult(
+        "E16", "Tail anatomy: critical-path decomposition of the p99")
+    checked_total, bad_total = 0, 0
+
+    # ------------------------------------------------------------------
+    # 1. p50 vs p99 anatomy per design (model backend, one mid cluster)
+    # ------------------------------------------------------------------
+    anatomy_nodes = 16
+    anatomy = Table(["design", "pctl", "latency", "queue", "service",
+                     "switch tax", "blocked", "net+hedge", "tax share"],
+                    title=f"Critical-path anatomy (cyc), {anatomy_nodes} "
+                          f"nodes, fanout {min(MAX_FANOUT, anatomy_nodes)}, "
+                          f"{POLICY} placement")
+    anatomy_series: Dict[str, Dict[str, Dict[str, float]]] = {}
+    span_exemplars: Dict[str, list] = {}
+    for name in DESIGN_NAMES:
+        store = _trace(_config(nodes=anatomy_nodes,
+                               design=DESIGNS[name],
+                               requests=_requests_for(anatomy_nodes,
+                                                      requests)), seed)
+        checked, bad = _conservation(store)
+        checked_total += checked
+        bad_total += bad
+        anatomy_series[name] = _anatomy_rows(anatomy, name, store)
+        span_exemplars[name] = store.exemplars()
+    result.add_table(anatomy)
+
+    # ------------------------------------------------------------------
+    # 2. the tax share vs scale, and the E14 ratio from traced latencies
+    # ------------------------------------------------------------------
+    scale = Table(["nodes", "fanout", "sw tax+queue p50",
+                   "sw tax+queue p99", "hw tax+queue p99", "hw p99",
+                   "sw p99", "sw/hw"],
+                  title="Switch tax + induced queueing, share of the "
+                        "critical path vs scale (model backend)")
+    scale_series: Dict[int, Dict[str, float]] = {}
+    for nodes in node_counts:
+        fanout = min(MAX_FANOUT, nodes)
+        cells: Dict[str, spans.SpanStore] = {}
+        for name in ("hw-threads", "sw-threads"):
+            cells[name] = _trace(
+                _config(nodes=nodes, fanout=fanout, design=DESIGNS[name],
+                        requests=_requests_for(nodes, requests)), seed)
+            checked, bad = _conservation(cells[name])
+            checked_total += checked
+            bad_total += bad
+
+        def taxq(design: str, percentile: float) -> float:
+            picked = cells[design].percentile_request(percentile)
+            return _taxq_share(picked["components"], picked["latency"])
+
+        hw_p99 = cells["hw-threads"].percentile_request(99.0)["latency"]
+        sw_p99 = cells["sw-threads"].percentile_request(99.0)["latency"]
+        scale_series[nodes] = {
+            "fanout": fanout,
+            "sw_taxq_p50": taxq("sw-threads", 50.0),
+            "sw_taxq_p99": taxq("sw-threads", 99.0),
+            "hw_taxq_p99": taxq("hw-threads", 99.0),
+            "hw_p99": hw_p99, "sw_p99": sw_p99,
+            "ratio": sw_p99 / hw_p99,
+        }
+        scale.add_row(nodes, fanout,
+                      f"{100 * scale_series[nodes]['sw_taxq_p50']:.1f}%",
+                      f"{100 * scale_series[nodes]['sw_taxq_p99']:.1f}%",
+                      f"{100 * scale_series[nodes]['hw_taxq_p99']:.1f}%",
+                      hw_p99, sw_p99, f"{sw_p99 / hw_p99:.2f}x")
+    result.add_table(scale)
+
+    # ------------------------------------------------------------------
+    # 3. the ISA backend: the machine pays the tax in executed cycles
+    # ------------------------------------------------------------------
+    isa_nodes = 2 if quick else 4
+    isa_requests = 30 if quick else 100
+    isa = Table(["design", "pctl", "latency", "queue", "service",
+                 "switch tax", "blocked", "net+hedge", "tax share"],
+                title=f"Critical-path anatomy, ISA backend ({isa_nodes} "
+                      f"nodes, fanout 1)")
+    isa_series: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in ("hw-threads", "sw-threads"):
+        store = _trace(_config(nodes=isa_nodes, fanout=1, backend="isa",
+                               design=DESIGNS[name], segments=2,
+                               mean_service_cycles=4_000,
+                               requests=isa_requests,
+                               policy="round-robin"), seed + 1)
+        checked, bad = _conservation(store)
+        checked_total += checked
+        bad_total += bad
+        isa_series[name] = _anatomy_rows(isa, name, store)
+    result.add_table(isa)
+
+    # ------------------------------------------------------------------
+    # 4. tracing is sharding-invisible: the span payload is byte-equal
+    # ------------------------------------------------------------------
+    ident_config = _config(nodes=8, fanout=4, design=DESIGNS["sw-threads"],
+                           requests=_requests_for(8, requests))
+    payloads = []
+    for shards in (1, 2):
+        with spans.tracing(top_k=8) as store:
+            run_cluster(scaled(ident_config, shards=shards), seed=seed + 2,
+                        transport="process")
+        payloads.append(json.dumps(store.payload(), sort_keys=True))
+    identical = payloads[0] == payloads[1]
+
+    # the retained tail exemplar trees, per design: what `repro
+    # evaluate --spans DIR` dumps (JSON + Perfetto) as the CI artifact
+    result.data["span_exemplars"] = span_exemplars
+    result.data["anatomy"] = anatomy_series
+    result.data["scale"] = scale_series
+    result.data["isa"] = isa_series
+    result.data["node_counts"] = list(node_counts)
+    result.data["conservation"] = {"checked": checked_total,
+                                   "violations": bad_total}
+    result.data["sharding_identical"] = identical
+
+    # ------------------------------------------------------------------
+    # claims
+    # ------------------------------------------------------------------
+    result.add_claim(
+        "every traced request decomposes exactly: the seven components "
+        "sum to the end-to-end latency, cycle for cycle",
+        "a simulation claim the paper's argument rests on implicitly -- "
+        "attribution must add up before shares mean anything",
+        f"{checked_total} requests checked, {bad_total} violations",
+        Verdict.SUPPORTED if bad_total == 0 else Verdict.PARTIAL)
+
+    concentrates = all(
+        scale_series[n]["sw_taxq_p99"] > scale_series[n]["sw_taxq_p50"]
+        for n in node_counts if n >= 8)
+    above_hw = all(
+        scale_series[n]["sw_taxq_p99"] > scale_series[n]["hw_taxq_p99"]
+        for n in node_counts)
+    sw99 = anatomy_series["sw-threads"]["p99"]
+    tax_and_queue = _taxq_share(sw99, int(sw99["latency"]))
+    result.add_claim(
+        "the sw-threads tail is switch-tax anatomy: tax plus the "
+        "queueing it induces concentrate in the p99 critical path and "
+        "dwarf the hw-threads columns at every scale",
+        "multiplexing a large number of software threads onto a small "
+        "number of hardware threads is expensive ... suffering many "
+        "cache misses along the way",
+        f"sw tax+queue p99 share > p50 share at every >=8-node count = "
+        f"{concentrates}, > hw share at every count = {above_hw}; "
+        f"tax+queue = {100 * tax_and_queue:.0f}% of the p99 path at "
+        f"{anatomy_nodes} nodes",
+        Verdict.SUPPORTED
+        if concentrates and above_hw and tax_and_queue > 0.5
+        else Verdict.PARTIAL)
+
+    ratios = [scale_series[n]["ratio"] for n in node_counts]
+    ordered = all(b > a for a, b in zip(ratios, ratios[1:]))
+    result.add_claim(
+        "the traced critical paths reproduce E14's tail amplification: "
+        "the sw/hw p99 ratio grows with cluster size",
+        "the per-node transition tax is magnified, not averaged away, "
+        "by fan-out (E14, re-derived from span trees)",
+        "sw/hw p99 ratio vs nodes: "
+        + " -> ".join(f"{r:.2f}" for r in ratios),
+        Verdict.SUPPORTED if ordered else Verdict.PARTIAL)
+
+    hw_share = isa_series["hw-threads"]["p99"]["tax_share"]
+    sw_share = isa_series["sw-threads"]["p99"]["tax_share"]
+    result.add_claim(
+        "the ISA backend agrees: the executed machine charges sw-threads "
+        "a visible tax where hw-threads pays in silicon",
+        "the cost of an isolation domain switch need not be paid in "
+        "software (Section 2, executed rather than modeled)",
+        f"p99 switch-tax share isa: sw {100 * sw_share:.1f}% vs hw "
+        f"{100 * hw_share:.1f}% (hw wakeups land in the machine itself)",
+        Verdict.SUPPORTED if sw_share > hw_share else Verdict.PARTIAL)
+
+    result.add_claim(
+        "distributed tracing is sharding-invisible: a PDES run ships "
+        "span fragments home and reproduces the single-engine trace "
+        "byte for byte",
+        "cross-machine communication is orders of magnitude more "
+        "expensive than an intra-machine context switch "
+        "(infrastructure claim, as in E14)",
+        f"span payloads for shards 1 vs 2 identical = {identical}",
+        Verdict.SUPPORTED if identical else Verdict.PARTIAL)
+    return result

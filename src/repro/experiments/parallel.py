@@ -1,4 +1,4 @@
-"""Parallel experiment runner: fan E01-E15 across worker processes.
+"""Parallel experiment runner: fan E01-E16 across worker processes.
 
 Every experiment builds its own :class:`~repro.machine.Machine` (or raw
 :class:`~repro.sim.engine.Engine`) from a fixed seed and shares no
@@ -108,6 +108,32 @@ def run_parallel(experiment_ids: Optional[Sequence[str]] = None,
                         for e in experiments]
     return [result for result, _snapshot, _tracer
             in _execute(jobs, workers)]
+
+
+def span_artifacts(results: Sequence[ExperimentResult]
+                   ) -> Dict[str, List[Dict[str, Any]]]:
+    """The span-tree exemplars published by traced experiments, keyed
+    by experiment id (``repro evaluate --spans DIR`` dumps these).
+
+    Experiments that trace requests (E16) retain their tail exemplar
+    trees in ``result.data["span_exemplars"]`` -- a ``{design: [tree,
+    ...]}`` map.  Because the trees ride inside the pickled result, a
+    parallel run ships byte-identical spans to the serial loop's; the
+    byte-identity test pins that.  A store-per-run design is deliberate:
+    one ambient store across a whole experiment would collide the
+    per-service request/attempt ids of its many cluster runs.
+    """
+    artifacts: Dict[str, List[Dict[str, Any]]] = {}
+    for result in results:
+        exemplars = result.data.get("span_exemplars")
+        if not exemplars:
+            continue
+        trees: List[Dict[str, Any]] = []
+        for design in sorted(exemplars):
+            for tree in exemplars[design]:
+                trees.append({"label": design, "tree": tree})
+        artifacts[result.experiment_id] = trees
+    return artifacts
 
 
 def run_instrumented(experiment_ids: Optional[Sequence[str]] = None,

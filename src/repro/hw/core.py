@@ -306,9 +306,22 @@ class HWCore:
                     continue
             picked = self.issue_policy.select(issueable, self.smt_width)
             self.issue_rounds += 1
+            # Attribution must be a pure function of simulation state,
+            # never of whether a batch plan happened to fire (the plan
+            # horizon reads the host engine's foreign-event queue, which
+            # differs between a single-engine and a sharded run): a
+            # round where every issueable thread is mid-`work` -- the
+            # exact trigger condition of _plan_fast_forward -- is a
+            # work-burn ("fastforward") cycle whether it was batched or
+            # stepped. Evaluate before issuing, which decrements.
+            burn = True
+            for thread in issueable:
+                if thread.work_remaining <= 0:
+                    burn = False
+                    break
             for thread in picked:
                 self._issue_one(thread)
-            profile.pend("issue", now)
+            profile.pend("fastforward" if burn else "issue", now)
             yield 1
             profile.settle(engine.now)
 

@@ -80,7 +80,12 @@ class Machine:
         self.config = config
         # an injected engine puts this machine on a caller-shared
         # timeline -- how the cluster layer runs one ISA-level machine
-        # per node inside a single simulation
+        # per node inside a single simulation. Ownership matters to the
+        # obs harvest: engine.* counters describe whatever engine hosts
+        # the machine, so only an owned engine's totals are simulation
+        # facts worth snapshotting (a shared host engine's event count
+        # depends on what else runs on it, e.g. which PDES shard).
+        self.owns_engine = engine is None
         self.engine = engine if engine is not None else Engine()
         self.clock = Clock(config.freq_ghz)
         self.tracer = Tracer(self.engine, enabled=config.trace)

@@ -116,6 +116,115 @@ def machine_trace(machine) -> Dict[str, Any]:
         metadata={"source": "repro", "engine_now": machine.engine.now})
 
 
+def span_tree_events(tree: Dict[str, Any], freq_ghz: float = 1.0,
+                     pid_base: int = 0,
+                     label: str = "") -> List[Dict[str, Any]]:
+    """The trace events for one request span tree (see
+    :mod:`repro.obs.spans`).
+
+    One request becomes a *process*: tid 0 carries the end-to-end
+    request span, tid 1 lays the exact critical-path components end to
+    end (they sum to the latency, so the lane closes exactly at
+    settle), and each attempt gets its own tid with the attempt span
+    and, nested inside it, the node-phase span.  Cycle stamps ride in
+    ``args`` as usual.
+    """
+    from repro.obs.spans import COMPONENTS, critical_path
+    prefix = f"{label} " if label else ""
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": pid_base, "tid": 0,
+         "args": {"name": f"{prefix}request {tree['request_id']}"}},
+        {"name": "thread_name", "ph": "M", "pid": pid_base, "tid": 0,
+         "args": {"name": "request"}},
+    ]
+    start = tree["start"]
+    end = tree["end"] if tree["end"] is not None else start
+    events.append({
+        "name": f"request ({tree['outcome']})",
+        "cat": "request", "ph": "X", "pid": pid_base, "tid": 0,
+        "ts": _cycles_to_us(start, freq_ghz),
+        "dur": _cycles_to_us(end - start, freq_ghz),
+        "args": {"begin_cycle": start, "end_cycle": end,
+                 "latency_cycles": tree["latency"]},
+    })
+    if tree.get("outcome") == "completed":
+        events.append({"name": "thread_name", "ph": "M",
+                       "pid": pid_base, "tid": 1,
+                       "args": {"name": "critical path"}})
+        cursor = start
+        path = critical_path(tree)
+        for name in COMPONENTS:
+            cycles = path[name]
+            events.append({
+                "name": name,
+                "cat": "critical-path", "ph": "X",
+                "pid": pid_base, "tid": 1,
+                "ts": _cycles_to_us(cursor, freq_ghz),
+                "dur": _cycles_to_us(cycles, freq_ghz),
+                "args": {"cycles": cycles},
+            })
+            cursor += cycles
+    tid = 2
+    for shard in tree["shards"]:
+        for attempt in shard["attempts"]:
+            fragment = attempt.get("node_span")
+            hedge = " (hedge)" if attempt["hedged"] else ""
+            events.append({
+                "name": "thread_name", "ph": "M",
+                "pid": pid_base, "tid": tid,
+                "args": {"name": f"shard{shard['index']} attempt "
+                                 f"{attempt['attempt_id']}{hedge}"}})
+            resolved = attempt.get("response_at",
+                                   attempt.get("rejected_at"))
+            if resolved is None and fragment is not None:
+                resolved = fragment["done"]
+            if resolved is None:
+                resolved = end
+            events.append({
+                "name": f"{attempt['status']} -> {attempt['node']}",
+                "cat": "attempt", "ph": "X", "pid": pid_base, "tid": tid,
+                "ts": _cycles_to_us(attempt["start"], freq_ghz),
+                "dur": _cycles_to_us(max(0, resolved - attempt["start"]),
+                                     freq_ghz),
+                "args": {"begin_cycle": attempt["start"],
+                         "critical": attempt.get("critical", False)},
+            })
+            if fragment is not None and fragment["done"] is not None:
+                events.append({
+                    "name": f"on {attempt['node']}",
+                    "cat": "node", "ph": "X",
+                    "pid": pid_base, "tid": tid,
+                    "ts": _cycles_to_us(fragment["admitted"], freq_ghz),
+                    "dur": _cycles_to_us(
+                        fragment["done"] - fragment["admitted"], freq_ghz),
+                    "args": {"service": fragment["service"],
+                             "switch_tax": fragment["switch_tax"],
+                             "blocked": fragment["blocked"],
+                             "queue": fragment.get("queue")},
+                })
+            tid += 1
+    return events
+
+
+def span_trace(trees: Sequence[Tuple[str, Dict[str, Any]]],
+               freq_ghz: float = 1.0,
+               metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble the Chrome trace for ``(label, tree)`` span trees, one
+    pid per tree.  ``freq_ghz`` defaults to 1.0 -- the cluster layer is
+    frequency-agnostic, so 1000 cycles render as one microsecond."""
+    events: List[Dict[str, Any]] = []
+    for index, (label, tree) in enumerate(trees):
+        events.extend(span_tree_events(tree, freq_ghz,
+                                       pid_base=index, label=label))
+    trace: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["otherData"] = metadata
+    return trace
+
+
 def write_trace(path: str, trace: Dict[str, Any]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace, handle, indent=1)

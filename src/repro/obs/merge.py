@@ -28,13 +28,16 @@ This module provides the transport-agnostic pieces:
 - :func:`import_timeline` -- replay shipped spans/instants/open spans
   into a timeline under remapped track ids.
 
-Two digest quantities cannot round-trip exactly because they describe
-the *hosting* engine rather than the simulation: ``engine.*`` counters
-(a shard engine processes only its partition's events) and the
-profiler's issue/fastforward split of idle cycles (per-core totals are
-preserved).  Everything else -- cores, memory, caches, tracer shims,
-timelines -- is a pure function of the (byte-identical) simulation
-history.
+Every digest quantity is a pure function of the (byte-identical)
+simulation history -- cores, memory, caches, tracer shims, timelines,
+and the profiler buckets -- so a sharded snapshot round-trips exactly,
+for the behavioral and the ISA backend alike.  Two host-engine
+artifacts used to leak through and were closed at the source:
+``engine.*`` counters are harvested only from machines that *own*
+their engine (a shard host's event count is not a simulation fact),
+and the profiler attributes work-burn cycles to ``fastforward``
+whether they were batched or stepped (the batching decision reads the
+host engine's foreign-event queue; the burn condition does not).
 """
 
 from __future__ import annotations

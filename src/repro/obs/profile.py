@@ -2,14 +2,20 @@
 
 Buckets every simulated cycle of every core into exactly one of:
 
-- ``issue``        -- a round in which at least one uop issued;
+- ``issue``        -- a round in which at least one uop issued and some
+                      issueable thread did more than burn ``work``;
 - ``stall``        -- runnable threads exist but none can issue yet
                       (all waiting out busy-cycle latencies);
 - ``mwait``        -- no runnable threads and at least one is parked in
                       MONITOR/MWAIT (the paper's blocked state);
-- ``fastforward``  -- cycles skipped in bulk by the busy-cycle
-                      fast-forward path (identical accounting, so these
-                      are real simulated cycles, just batch-attributed);
+- ``fastforward``  -- work-burn rounds: every issueable thread was
+                      mid-``work`` (the trigger condition of the
+                      busy-cycle fast-forward), attributed here whether
+                      the round was batch-skipped or stepped naively.
+                      Attribution from simulation state -- not from
+                      whether a batch fired -- keeps the split identical
+                      across hosts (fast-forward on/off, single-engine
+                      vs PDES shard);
 - ``idle``         -- no threads at all (before boot / after all
                       stopped), plus trailing clock advancement when
                       ``engine.run(until=...)`` moves time past the

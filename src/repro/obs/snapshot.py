@@ -80,8 +80,13 @@ def harvest_machine(machine, registry: MetricsRegistry) -> None:
     one registry aggregates a whole experiment sweep.
     """
     engine = machine.engine
-    registry.inc("engine.events", engine.events_processed)
-    registry.inc("engine.cycles", engine.now)
+    if machine.owns_engine:
+        # a machine on a caller-shared engine (cluster ISA nodes) must
+        # not harvest the host's event totals: they describe the hosting
+        # engine, not this machine, and differ between a single-engine
+        # and a sharded run of the same simulation
+        registry.inc("engine.events", engine.events_processed)
+        registry.inc("engine.cycles", engine.now)
     registry.inc("mem.loads", machine.memory.load_count)
     registry.inc("mem.stores", machine.memory.store_count)
     bus = machine.memory.watch_bus

@@ -1,0 +1,504 @@
+"""Per-request distributed tracing with critical-path tail attribution.
+
+A :class:`SpanStore` records the causal history of every cluster
+request -- client send, balancer pick, fabric hop, node admission,
+backend service, reply hop, plus hedged-attempt siblings -- and turns
+it into *span trees* whose critical path decomposes the end-to-end
+latency **exactly** into named components:
+
+==============  ========================================================
+component       meaning
+==============  ========================================================
+``hedge_wait``  cycles between request arrival and the critical
+                attempt's launch (0 unless the winner was a hedge)
+``net_request`` request-wire delay, client -> node
+``queue``       cycles at the node not accounted to any other bucket:
+                admission backlog, PS/FIFO sharing, and (isa backend)
+                instruction/wakeup overheads the machine really paid
+``service``     the request's own CPU demand (pre-tax segment cycles)
+``switch_tax``  the per-transition overhead -- the paper's context
+                switch cost (scheduler + switch + cache pollution for
+                sw-threads, hardware wakeup for hw-threads, callback
+                dispatch for the event loop)
+``blocked``     mid-request remote-call RTTs (holding no CPU)
+``net_response`` response-wire delay of the winning reply
+==============  ========================================================
+
+The conservation-style invariant (a hypothesis property test pins it):
+for every completed request the components sum to the recorded
+end-to-end latency, cycle for cycle.  ``queue`` is the residual of the
+node phase, and every other component is an exact lower bound the
+simulation itself enforces, so all components are non-negative.
+
+Sampling is tail-based: full trees are retained only for the
+``top_k`` slowest requests plus a deterministic 1-in-``sample_every``
+sample (by request id); every completed request still contributes to
+the per-component histograms and to the exact per-request
+decomposition list that :meth:`SpanStore.percentile_request` reads.
+
+Instrumentation is zero-cost when off: every emitting site holds the
+ambient store captured at construction (``None`` when tracing is
+inactive) and guards on one attribute-is-None check.  Under PDES
+sharding the node-side *fragments* are recorded in worker-local stores
+keyed by the client-assigned attempt id and shipped home at the end of
+the run (:meth:`SpanStore.merge_fragments`); because finalization is
+deferred to :meth:`SpanStore.finalize` and ordered by settle sequence,
+a sharded run reproduces the single-engine span payload byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.metrics import Histogram
+
+#: Critical-path components, in display order.
+COMPONENTS = ("hedge_wait", "net_request", "queue", "service",
+              "switch_tax", "blocked", "net_response")
+
+#: Default exemplar retention: the K slowest plus 1-in-N by request id.
+DEFAULT_TOP_K = 8
+DEFAULT_SAMPLE_EVERY = 0       # 0 disables the 1-in-N sample
+
+# fragment list indices (kept as plain lists so a worker's fragments
+# pickle cheaply over the PDES pipe)
+_ADMITTED, _DONE, _SERVICE, _TAX, _BLOCKED = range(5)
+
+
+class _Attempt:
+    """One shard attempt, as the client saw it."""
+
+    __slots__ = ("attempt_id", "shard", "node", "launched", "hedged",
+                 "status", "resolved_at", "critical")
+
+    def __init__(self, attempt_id: int, shard: int, node: str,
+                 launched: int, hedged: bool):
+        self.attempt_id = attempt_id
+        self.shard = shard
+        self.node = node
+        self.launched = launched
+        self.hedged = hedged
+        self.status: Optional[str] = None   # resolved at finalize
+        self.resolved_at: Optional[int] = None
+        self.critical = False
+
+
+class _Request:
+    """One cluster request, as the client saw it."""
+
+    __slots__ = ("request_id", "arrived", "fanout", "attempts",
+                 "settled_at", "outcome", "seq", "critical_attempt")
+
+    def __init__(self, request_id: int, arrived: int, fanout: int):
+        self.request_id = request_id
+        self.arrived = arrived
+        self.fanout = fanout
+        self.attempts: List[_Attempt] = []
+        self.settled_at: Optional[int] = None
+        self.outcome = "in-flight"
+        self.seq: Optional[int] = None      # settle order
+        self.critical_attempt: Optional[int] = None
+
+
+class SpanStore:
+    """Collects request/attempt events and node fragments for one run.
+
+    The client side (:class:`~repro.cluster.service.ClusterService`)
+    calls the ``request_*``/``attempt_*`` hooks; the node side
+    (:class:`~repro.cluster.node.ClusterNode` and both server backends)
+    calls the ``node_*`` hooks.  In a sharded run the two halves live in
+    different processes and are joined by :meth:`merge_fragments`.
+    """
+
+    def __init__(self, top_k: int = DEFAULT_TOP_K,
+                 sample_every: int = DEFAULT_SAMPLE_EVERY):
+        if top_k < 0:
+            raise ConfigError(f"top_k must be >= 0, got {top_k}")
+        if sample_every < 0:
+            raise ConfigError(
+                f"sample_every must be >= 0 (0 disables), got "
+                f"{sample_every}")
+        self.top_k = top_k
+        self.sample_every = sample_every
+        self._requests: Dict[int, _Request] = {}
+        self._by_attempt: Dict[int, Tuple[_Request, _Attempt]] = {}
+        #: attempt id -> [admitted, done, service, tax, blocked]
+        self.fragments: Dict[int, List[int]] = {}
+        #: attempt id -> rejection timestamp
+        self.rejects: Dict[int, int] = {}
+        self.hedges = 0
+        self._settle_seq = 0
+        #: exact decompositions for every completed request, in settle
+        #: order: (latency, seq, request_id, components dict)
+        self._paths: List[Tuple[int, int, int, Dict[str, int]]] = []
+        self._exemplars: List[Dict[str, Any]] = []
+        self._finalized = False
+
+    # -- client-side hooks ------------------------------------------
+    def request_begin(self, request_id: int, now: int,
+                      fanout: int) -> None:
+        self._requests[request_id] = _Request(request_id, now, fanout)
+
+    def attempt_launch(self, request_id: int, shard_index: int,
+                       attempt_id: int, node: str, now: int,
+                       hedged: bool) -> None:
+        request = self._requests[request_id]
+        attempt = _Attempt(attempt_id, shard_index, node, now, hedged)
+        request.attempts.append(attempt)
+        self._by_attempt[attempt_id] = (request, attempt)
+        if hedged:
+            self.hedges += 1
+
+    def attempt_request_dropped(self, attempt_id: int) -> None:
+        self._by_attempt[attempt_id][1].status = "request-dropped"
+
+    def attempt_response_dropped(self, attempt_id: int) -> None:
+        self._by_attempt[attempt_id][1].status = "response-dropped"
+
+    def attempt_won(self, attempt_id: int, now: int) -> None:
+        attempt = self._by_attempt[attempt_id][1]
+        attempt.status = "won"
+        attempt.resolved_at = now
+
+    def attempt_late(self, attempt_id: int, now: int) -> None:
+        attempt = self._by_attempt[attempt_id][1]
+        attempt.status = "late"
+        attempt.resolved_at = now
+
+    def request_settled(self, request_id: int, now: int, outcome: str,
+                        critical_attempt: Optional[int] = None) -> None:
+        request = self._requests[request_id]
+        request.settled_at = now
+        request.outcome = outcome
+        request.critical_attempt = critical_attempt
+        request.seq = self._settle_seq
+        self._settle_seq += 1
+
+    # -- node-side hooks (also fired inside PDES shard workers) -----
+    def node_admit(self, attempt_id: int, now: int) -> None:
+        self.fragments[attempt_id] = [now, None, 0, 0, 0]
+
+    def node_reject(self, attempt_id: int, now: int) -> None:
+        self.rejects[attempt_id] = now
+
+    def node_demand(self, attempt_id: int, service: int, tax: int,
+                    blocked: int) -> None:
+        """Accumulate known per-request demand: pre-tax CPU cycles,
+        transition-tax cycles, and remote-call blocked cycles.  The
+        model backend calls this per segment (the crowd-scaled tax is
+        re-read each segment); the isa backend once at submit."""
+        fragment = self.fragments[attempt_id]
+        fragment[_SERVICE] += service
+        fragment[_TAX] += tax
+        fragment[_BLOCKED] += blocked
+
+    def node_done(self, attempt_id: int, now: int) -> None:
+        self.fragments[attempt_id][_DONE] = now
+
+    # -- PDES shipping ----------------------------------------------
+    def export_fragments(self) -> Dict[str, Any]:
+        """The node-side half, as one picklable payload (what a shard
+        worker ships home)."""
+        return {"fragments": self.fragments, "rejects": self.rejects}
+
+    def merge_fragments(self, payload: Optional[Dict[str, Any]]) -> None:
+        """Fold one worker's shipped fragments in.  Attempt ids are
+        globally unique (client-assigned), so this is a disjoint
+        union."""
+        if payload is None:
+            return
+        self.fragments.update(payload["fragments"])
+        self.rejects.update(payload["rejects"])
+
+    # -- finalization -----------------------------------------------
+    def _components_for(self, request: _Request,
+                        attempt: _Attempt) -> Dict[str, int]:
+        fragment = self.fragments[attempt.attempt_id]
+        admitted, done = fragment[_ADMITTED], fragment[_DONE]
+        service = fragment[_SERVICE]
+        tax = fragment[_TAX]
+        blocked = fragment[_BLOCKED]
+        queue = (done - admitted) - service - tax - blocked
+        return {
+            "hedge_wait": attempt.launched - request.arrived,
+            "net_request": admitted - attempt.launched,
+            "queue": queue,
+            "service": service,
+            "switch_tax": tax,
+            "blocked": blocked,
+            "net_response": request.settled_at - done,
+        }
+
+    def _attempt_dict(self, request: _Request,
+                      attempt: _Attempt) -> Dict[str, Any]:
+        fragment = self.fragments.get(attempt.attempt_id)
+        status = attempt.status
+        if status is None:
+            if attempt.attempt_id in self.rejects:
+                status = "rejected"
+            elif fragment is None:
+                status = "request-on-wire"
+            elif fragment[_DONE] is None:
+                status = "in-node"
+            else:
+                status = "response-on-wire"
+        entry: Dict[str, Any] = {
+            "attempt_id": attempt.attempt_id,
+            "shard": attempt.shard,
+            "node": attempt.node,
+            "start": attempt.launched,
+            "hedged": attempt.hedged,
+            "status": status,
+            "critical": attempt.critical,
+        }
+        if attempt.attempt_id in self.rejects:
+            entry["rejected_at"] = self.rejects[attempt.attempt_id]
+        if attempt.resolved_at is not None:
+            entry["response_at"] = attempt.resolved_at
+        if fragment is not None:
+            admitted, done = fragment[_ADMITTED], fragment[_DONE]
+            node_span: Dict[str, Any] = {
+                "admitted": admitted,
+                "done": done,
+                "service": fragment[_SERVICE],
+                "switch_tax": fragment[_TAX],
+                "blocked": fragment[_BLOCKED],
+            }
+            if done is not None:
+                node_span["queue"] = (
+                    (done - admitted) - fragment[_SERVICE]
+                    - fragment[_TAX] - fragment[_BLOCKED])
+            entry["node_span"] = node_span
+        return entry
+
+    def _tree_for(self, request: _Request) -> Dict[str, Any]:
+        shards: List[Dict[str, Any]] = [
+            {"index": index, "attempts": []}
+            for index in range(request.fanout)]
+        for attempt in request.attempts:
+            shards[attempt.shard]["attempts"].append(
+                self._attempt_dict(request, attempt))
+        return {
+            "request_id": request.request_id,
+            "start": request.arrived,
+            "end": request.settled_at,
+            "latency": (None if request.settled_at is None
+                        else request.settled_at - request.arrived),
+            "outcome": request.outcome,
+            "shards": shards,
+        }
+
+    def finalize(self) -> None:
+        """Resolve statuses, compute every completed request's exact
+        decomposition, and select the exemplar trees.  Idempotent;
+        deterministic given the recorded history (settle order ties the
+        output ordering to the simulation, not to dict iteration)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        settled = sorted(
+            (request for request in self._requests.values()
+             if request.seq is not None),
+            key=lambda request: request.seq)
+        completed = []
+        for request in settled:
+            if request.outcome != "completed":
+                continue
+            _req, attempt = self._by_attempt[request.critical_attempt]
+            attempt.critical = True
+            components = self._components_for(request, attempt)
+            latency = request.settled_at - request.arrived
+            self._paths.append((latency, request.seq,
+                                request.request_id, components))
+            completed.append(request)
+        keep = set()
+        if self.top_k:
+            slowest = sorted(self._paths,
+                             key=lambda path: (-path[0], path[1]))
+            keep.update(path[2] for path in slowest[:self.top_k])
+        if self.sample_every:
+            keep.update(request.request_id for request in completed
+                        if request.request_id % self.sample_every == 0)
+        self._exemplars = [self._tree_for(request)
+                           for request in completed
+                           if request.request_id in keep]
+
+    # -- results ----------------------------------------------------
+    def exemplars(self) -> List[Dict[str, Any]]:
+        """The retained span trees, in settle order."""
+        self.finalize()
+        return self._exemplars
+
+    def paths(self) -> List[Tuple[int, int, int, Dict[str, int]]]:
+        """Every completed request's exact decomposition, in settle
+        order: ``(latency, settle_seq, request_id, components)``."""
+        self.finalize()
+        return self._paths
+
+    def percentile_request(self, percentile: float) -> Dict[str, Any]:
+        """The exact decomposition of the request sitting at the given
+        latency percentile (nearest-rank; ties broken by settle order,
+        so the answer is deterministic)."""
+        self.finalize()
+        if not self._paths:
+            raise ConfigError("no completed requests were traced")
+        if not 0.0 <= percentile <= 100.0:
+            raise ConfigError(
+                f"percentile must be in [0, 100], got {percentile}")
+        ordered = sorted(self._paths,
+                         key=lambda path: (path[0], path[1]))
+        rank = max(1, math.ceil(percentile / 100.0 * len(ordered)))
+        latency, _seq, request_id, components = ordered[rank - 1]
+        return {"request_id": request_id, "latency": latency,
+                "components": dict(components)}
+
+    def payload(self) -> Dict[str, Any]:
+        """Everything, as one JSON-ready dict (byte-identical between a
+        serial and a parallel run, and between ``shards=1`` and
+        ``shards=N``)."""
+        self.finalize()
+        histograms = {name: Histogram(name) for name in COMPONENTS}
+        latency_hist = Histogram("latency")
+        for latency, _seq, _request_id, components in self._paths:
+            latency_hist.record(latency)
+            for name in COMPONENTS:
+                histograms[name].record(components[name])
+        settled = [r for r in self._requests.values()
+                   if r.seq is not None]
+        return {
+            "config": {"top_k": self.top_k,
+                       "sample_every": self.sample_every},
+            "counters": {
+                "requests": len(self._requests),
+                "completed": len(self._paths),
+                "dropped": sum(1 for r in settled
+                               if r.outcome == "dropped"),
+                "unsettled": len(self._requests) - len(settled),
+                "attempts": len(self._by_attempt),
+                "hedges": self.hedges,
+                "rejected": len(self.rejects),
+            },
+            "latency": latency_hist.snapshot(),
+            "components": {name: histograms[name].snapshot()
+                           for name in COMPONENTS},
+            "exemplars": self._exemplars,
+        }
+
+
+# ----------------------------------------------------------------------
+def critical_path(tree: Dict[str, Any]) -> Dict[str, int]:
+    """The exact end-to-end decomposition of one exported span tree.
+
+    Follows the critical attempt -- the winning attempt of the shard
+    that settled the request -- and returns one entry per
+    :data:`COMPONENTS`.  The invariant: the values sum exactly to
+    ``tree["latency"]`` (== ``tree["end"] - tree["start"]``).
+    """
+    if tree.get("outcome") != "completed":
+        raise ConfigError(
+            f"critical path is only defined for completed requests, "
+            f"got outcome {tree.get('outcome')!r}")
+    for shard in tree["shards"]:
+        for attempt in shard["attempts"]:
+            if attempt.get("critical"):
+                node_span = attempt["node_span"]
+                return {
+                    "hedge_wait": attempt["start"] - tree["start"],
+                    "net_request": node_span["admitted"] - attempt["start"],
+                    "queue": node_span["queue"],
+                    "service": node_span["service"],
+                    "switch_tax": node_span["switch_tax"],
+                    "blocked": node_span["blocked"],
+                    "net_response": tree["end"] - node_span["done"],
+                }
+    raise ConfigError(
+        f"request {tree.get('request_id')} has no critical attempt")
+
+
+def render_tree(tree: Dict[str, Any]) -> str:
+    """Pretty-print one span tree with per-component percentages (the
+    ``repro trace --top K`` terminal view)."""
+    lines = [f"request {tree['request_id']}: {tree['latency']:,} cycles "
+             f"[{tree['start']:,} .. {tree['end']:,}] "
+             f"({tree['outcome']})"]
+    path = (critical_path(tree)
+            if tree.get("outcome") == "completed" else None)
+    total = tree["latency"] or 1
+    for shard in tree["shards"]:
+        lines.append(f"  shard {shard['index']}")
+        for attempt in shard["attempts"]:
+            marker = " *critical*" if attempt.get("critical") else ""
+            hedge = " (hedge)" if attempt["hedged"] else ""
+            lines.append(
+                f"    attempt {attempt['attempt_id']} -> "
+                f"{attempt['node']}{hedge} @{attempt['start']:,} "
+                f"[{attempt['status']}]{marker}")
+            fragment = attempt.get("node_span")
+            if fragment is not None:
+                done = fragment["done"]
+                span = ("open" if done is None
+                        else f"{done - fragment['admitted']:,} cycles")
+                lines.append(
+                    f"      node: admitted @{fragment['admitted']:,}, "
+                    f"{span} (service {fragment['service']:,}, "
+                    f"tax {fragment['switch_tax']:,}, "
+                    f"blocked {fragment['blocked']:,})")
+    if path is not None:
+        lines.append("  critical path:")
+        for name in COMPONENTS:
+            cycles = path[name]
+            lines.append(f"    {name:<12} {cycles:>12,} cycles "
+                         f"{100.0 * cycles / total:6.2f}%")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the ambient store (mirrors repro.obs's session stack)
+# ----------------------------------------------------------------------
+_ACTIVE: List[Optional[SpanStore]] = []
+
+
+def active() -> Optional[SpanStore]:
+    """The innermost active span store, or None when tracing is off."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def tracing(store: Optional[SpanStore] = None, *,
+            top_k: int = DEFAULT_TOP_K,
+            sample_every: int = DEFAULT_SAMPLE_EVERY
+            ) -> Iterator[SpanStore]:
+    """Activate request tracing for the dynamic extent of the block.
+
+    Every :class:`~repro.cluster.service.ClusterService` and
+    :class:`~repro.cluster.node.ClusterNode` built inside records into
+    the yielded store.  Independent of :func:`repro.obs.session` -- a
+    span trace does not force machine instrumentation on.
+    """
+    if store is None:
+        store = SpanStore(top_k=top_k, sample_every=sample_every)
+    _ACTIVE.append(store)
+    try:
+        yield store
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def _redirected(store: Optional[SpanStore]) -> Iterator[None]:
+    """Swap the ambient stack while building PDES shard workers: the
+    worker's nodes must record into the worker-local store (or nowhere),
+    never into the coordinator's (the inline transport would otherwise
+    capture it and double-count after the merge)."""
+    saved = _ACTIVE[:]
+    _ACTIVE.clear()
+    if store is not None:
+        _ACTIVE.append(store)
+    try:
+        yield
+    finally:
+        del _ACTIVE[:]
+        _ACTIVE.extend(saved)

@@ -9,7 +9,7 @@ class TestList:
     def test_lists_all_experiments(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 16):
+        for i in range(1, 17):
             assert f"E{i:02d}" in out
 
     def test_anchors_shown(self, capsys):
@@ -71,6 +71,77 @@ class TestCluster:
                      "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["hw-threads"]["conserved"] is True
+
+
+class TestTrace:
+    ARGS = ["--nodes", "4", "--fanout", "2", "--load", "0.3",
+            "--requests", "30"]
+
+    def test_renders_slowest_trees(self, capsys):
+        assert main(["trace", "--top", "2", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.count("critical path:") == 2
+        assert "*critical*" in out
+        assert "switch_tax" in out
+        assert "completed requests traced" in out
+
+    def test_json_payload(self, capsys):
+        import json
+        assert main(["trace", "--json", *self.ARGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["completed"] == 30
+        assert set(payload["components"]) == {
+            "hedge_wait", "net_request", "queue", "service",
+            "switch_tax", "blocked", "net_response"}
+
+    def test_bad_top_rejected(self, capsys):
+        assert main(["trace", "--top", "0", *self.ARGS]) == 2
+        assert "--top" in capsys.readouterr().err
+
+    def test_span_trace_file_validates(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+        path = tmp_path / "spans.trace.json"
+        assert main(["trace", "--top", "2", "--span-trace", str(path),
+                     *self.ARGS]) == 0
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_sharded_trace_matches_single(self, capsys):
+        import json
+        args = ["trace", "--json", "--nodes", "4", "--fanout", "1",
+                "--load", "0.3", "--requests", "20"]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main([*args, "--shards", "2",
+                     "--shard-transport", "inline"]) == 0
+        sharded = capsys.readouterr().out
+        assert json.loads(single) == json.loads(sharded)
+
+
+class TestClusterSpanTrace:
+    def test_design_all_collects_every_design(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+        path = tmp_path / "spans.trace.json"
+        assert main(["cluster", "--nodes", "4", "--design", "all",
+                     "--fanout", "2", "--load", "0.3",
+                     "--requests", "20", "--span-trace", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        validate_chrome_trace(trace)
+        names = {event["args"]["name"]
+                 for event in trace["traceEvents"]
+                 if event["name"] == "process_name"}
+        for design in ("hw-threads", "sw-threads", "event-loop"):
+            assert any(name.startswith(design) for name in names)
+
+
+class TestRunSpanFlags:
+    def test_untraced_experiment_rejected(self, capsys):
+        assert main(["run", "E10", "--quick",
+                     "--span-trace", "/tmp/nope.json"]) == 2
+        assert "publishes no span trees" in capsys.readouterr().err
 
 
 class TestIsaReference:

@@ -12,7 +12,7 @@ from repro.experiments.registry import register
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [e.experiment_id for e in all_experiments()]
-        assert ids == [f"E{i:02d}" for i in range(1, 16)]
+        assert ids == [f"E{i:02d}" for i in range(1, 17)]
 
     def test_lookup_by_id(self):
         exp = get_experiment("E05")
@@ -244,6 +244,45 @@ class TestE15Shape:
 
     def test_all_claims_supported(self, results):
         assert results["E15"].all_supported()
+
+
+class TestE16Shape:
+    def test_conservation_exact_everywhere(self, results):
+        conservation = results["E16"].series("conservation")
+        assert conservation["checked"] > 0
+        assert conservation["violations"] == 0
+
+    def test_ratio_ordering_reproduces_e14(self, results):
+        scale = results["E16"].series("scale")
+        ratios = [scale[n]["ratio"]
+                  for n in results["E16"].series("node_counts")]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+    def test_tax_plus_queue_dominates_sw_tail(self, results):
+        scale = results["E16"].series("scale")
+        for nodes, cell in scale.items():
+            assert cell["sw_taxq_p99"] > cell["hw_taxq_p99"]
+            if nodes >= 8:
+                assert cell["sw_taxq_p99"] > cell["sw_taxq_p50"]
+
+    def test_sharded_spans_byte_identical(self, results):
+        assert results["E16"].series("sharding_identical") is True
+
+    def test_publishes_span_exemplars_per_design(self, results):
+        exemplars = results["E16"].series("span_exemplars")
+        assert set(exemplars) == {"hw-threads", "sw-threads",
+                                  "event-loop"}
+        from repro.obs.spans import critical_path
+        for trees in exemplars.values():
+            assert trees
+            for tree in trees:
+                path = critical_path(tree)
+                assert sum(path.values()) == tree["latency"]
+
+    def test_isa_tax_lands_on_sw_only(self, results):
+        isa = results["E16"].series("isa")
+        assert isa["sw-threads"]["p99"]["tax_share"] \
+            > isa["hw-threads"]["p99"]["tax_share"]
 
 
 class TestEngineQueueIdentity:

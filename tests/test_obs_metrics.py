@@ -159,6 +159,22 @@ class TestHistogramStats:
         merged.merge(other)
         assert merged.snapshot() == reference.snapshot()
 
+    def test_min_max_sum_exact_through_merge(self):
+        """Extremes and the sum survive a merge exactly even where the
+        log-linear bucket midpoints would distort them (wide buckets at
+        large values)."""
+        low, high = Histogram("low"), Histogram("high")
+        low.record(3)
+        low.record(999_983)           # bucket width >> 1 up here
+        high.record(1_000_000_007)
+        low.merge(high)
+        snap = low.snapshot()
+        assert snap["min"] == 3
+        assert snap["max"] == 1_000_000_007
+        assert snap["sum"] == 3 + 999_983 + 1_000_000_007
+        assert low.percentile(0) == 3
+        assert low.percentile(100) == 1_000_000_007
+
     def test_merge_empty_is_noop(self):
         hist = Histogram("h")
         hist.record(5)

@@ -1,0 +1,241 @@
+"""Tests for repro.obs.spans: per-request distributed tracing.
+
+The two load-bearing contracts:
+
+1. **Conservation** -- every completed request's critical path
+   decomposes its end-to-end latency *exactly*: the seven components
+   are non-negative and sum to ``settled - arrived``, cycle for cycle,
+   on both server backends (hypothesis sweeps configs for the model
+   backend).
+2. **Byte identity** -- the span payload of a sharded (PDES) run
+   equals the single-engine run's byte for byte, because node-side
+   fragments ship home and finalization orders by settle sequence.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs.spans as spans
+from repro.cluster import ClusterConfig, get_design, run_cluster, scaled
+from repro.errors import ConfigError
+from repro.obs.export import span_trace, validate_chrome_trace
+from repro.obs.spans import (
+    COMPONENTS,
+    SpanStore,
+    critical_path,
+    render_tree,
+)
+
+
+def _config(**overrides) -> ClusterConfig:
+    defaults = dict(nodes=4, design=get_design("sw-threads"),
+                    policy="round-robin", fanout=2, load=0.3, requests=40,
+                    mean_service_cycles=4_000, segments=2,
+                    rtt_cycles=5_000)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _traced(config: ClusterConfig, seed: int = 13, top_k: int = 8,
+            sample_every: int = 0, **run_kwargs) -> SpanStore:
+    with spans.tracing(top_k=top_k, sample_every=sample_every) as store:
+        run_cluster(config, seed=seed, **run_kwargs)
+    store.finalize()
+    return store
+
+
+def _assert_conserved(store: SpanStore) -> None:
+    paths = store.paths()
+    assert paths, "no completed requests traced"
+    for latency, _seq, _request_id, components in paths:
+        assert set(components) == set(COMPONENTS)
+        assert all(value >= 0 for value in components.values()), components
+        assert sum(components.values()) == latency, components
+
+
+class TestConservation:
+    """Components sum to the end-to-end latency, exactly."""
+
+    @given(design=st.sampled_from(["hw-threads", "sw-threads",
+                                   "event-loop"]),
+           nodes=st.integers(min_value=2, max_value=6),
+           fanout=st.integers(min_value=1, max_value=2),
+           load=st.floats(min_value=0.1, max_value=0.6),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_model_backend(self, design, nodes, fanout, load, seed):
+        store = _traced(_config(nodes=nodes, design=get_design(design),
+                                fanout=min(fanout, nodes), load=load,
+                                requests=25), seed=seed)
+        _assert_conserved(store)
+
+    @pytest.mark.parametrize("design", ["hw-threads", "sw-threads"])
+    def test_isa_backend(self, design):
+        store = _traced(_config(design=get_design(design), backend="isa",
+                                fanout=1, requests=20))
+        _assert_conserved(store)
+
+    def test_hedged_and_queue_limited(self):
+        store = _traced(_config(policy="jsq", hedge_after=30_000,
+                                queue_limit=16, load=0.6))
+        _assert_conserved(store)
+
+
+class TestCriticalPath:
+    def test_tree_decomposition_matches_latency(self):
+        store = _traced(_config())
+        for tree in store.exemplars():
+            path = critical_path(tree)
+            assert sum(path.values()) == tree["latency"]
+            assert tuple(path) == COMPONENTS
+
+    def test_requires_completed_outcome(self):
+        with pytest.raises(ConfigError):
+            critical_path({"outcome": "dropped", "request_id": 1})
+
+    def test_exactly_one_critical_attempt_per_tree(self):
+        store = _traced(_config(fanout=2))
+        for tree in store.exemplars():
+            critical = [attempt
+                        for shard in tree["shards"]
+                        for attempt in shard["attempts"]
+                        if attempt["critical"]]
+            assert len(critical) == 1
+            assert critical[0]["status"] == "won"
+
+
+class TestSampling:
+    def test_top_k_keeps_the_slowest(self):
+        store = _traced(_config(), top_k=3)
+        exemplars = store.exemplars()
+        assert len(exemplars) == 3
+        slowest = sorted((latency for latency, *_ in store.paths()),
+                         reverse=True)[:3]
+        assert sorted((tree["latency"] for tree in exemplars),
+                      reverse=True) == slowest
+
+    def test_sample_every_is_deterministic_by_request_id(self):
+        store = _traced(_config(), top_k=0, sample_every=4)
+        exemplars = store.exemplars()
+        assert exemplars
+        assert all(tree["request_id"] % 4 == 0 for tree in exemplars)
+
+    def test_all_requests_counted_regardless_of_sampling(self):
+        store = _traced(_config(), top_k=1)
+        payload = store.payload()
+        assert payload["counters"]["completed"] == len(store.paths())
+        assert payload["latency"]["count"] == len(store.paths())
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            SpanStore(top_k=-1)
+        with pytest.raises(ConfigError):
+            SpanStore(sample_every=-2)
+
+
+class TestPercentileRequest:
+    def test_p100_is_the_slowest(self):
+        store = _traced(_config())
+        worst = max(latency for latency, *_ in store.paths())
+        assert store.percentile_request(100.0)["latency"] == worst
+
+    def test_empty_store_raises(self):
+        with pytest.raises(ConfigError):
+            SpanStore().percentile_request(50.0)
+
+    def test_out_of_range_raises(self):
+        store = _traced(_config(requests=5))
+        with pytest.raises(ConfigError):
+            store.percentile_request(101.0)
+
+
+class TestByteIdentity:
+    """Sharded tracing ships fragments home and reproduces the
+    single-engine payload byte for byte."""
+
+    def _payload(self, config, **run_kwargs) -> str:
+        store = _traced(config, **run_kwargs)
+        return json.dumps(store.payload(), sort_keys=True)
+
+    def test_model_shards_1_vs_4(self):
+        config = _config(nodes=8, requests=30)
+        assert (self._payload(config)
+                == self._payload(scaled(config, shards=4),
+                                 transport="inline"))
+
+    def test_isa_shards_1_vs_2(self):
+        config = _config(nodes=2, backend="isa", fanout=1, requests=15)
+        assert (self._payload(config)
+                == self._payload(scaled(config, shards=2),
+                                 transport="inline"))
+
+    def test_process_transport_matches_inline(self):
+        config = scaled(_config(nodes=4, requests=20), shards=2)
+        assert (self._payload(config, transport="process")
+                == self._payload(config, transport="inline"))
+
+
+class TestZeroCostWhenOff:
+    def test_no_ambient_store_outside_tracing(self):
+        assert spans.active() is None
+        with spans.tracing() as store:
+            assert spans.active() is store
+        assert spans.active() is None
+
+    def test_untraced_cluster_attaches_no_sink(self):
+        result = run_cluster(_config(requests=5), seed=1)
+        assert result.service._spans is None
+        for node in result.service.nodes:
+            assert node.server.span_sink is None
+
+    def test_redirected_isolates_the_stack(self):
+        with spans.tracing() as outer:
+            inner = SpanStore()
+            with spans._redirected(inner):
+                assert spans.active() is inner
+            with spans._redirected(None):
+                assert spans.active() is None
+            assert spans.active() is outer
+
+
+class TestRenderTree:
+    def test_shows_critical_path_with_percentages(self):
+        store = _traced(_config())
+        text = render_tree(store.exemplars()[0])
+        assert "critical path:" in text
+        assert "*critical*" in text
+        for name in COMPONENTS:
+            assert name in text
+        assert "%" in text
+
+
+class TestPerfettoExport:
+    def test_span_trace_validates(self):
+        store = _traced(_config())
+        trees = [("sw-threads", tree) for tree in store.exemplars()]
+        trace = span_trace(trees)
+        validate_chrome_trace(trace)
+
+    def test_critical_lane_closes_at_settle(self):
+        """The critical-path lane's components tile [start, end]."""
+        store = _traced(_config())
+        tree = store.exemplars()[0]
+        events = [event for event in span_trace([("x", tree)])["traceEvents"]
+                  if event.get("cat") == "critical-path"]
+        assert len(events) == len(COMPONENTS)
+        total = sum(event["args"]["cycles"] for event in events)
+        assert total == tree["latency"]
+
+    def test_one_pid_per_tree_with_labels(self):
+        store = _traced(_config())
+        trees = [("a", store.exemplars()[0]), ("b", store.exemplars()[1])]
+        trace = span_trace(trees)
+        names = [event["args"]["name"]
+                 for event in trace["traceEvents"]
+                 if event["name"] == "process_name"]
+        assert len(names) == 2
+        assert names[0].startswith("a request ")
+        assert names[1].startswith("b request ")
