@@ -78,6 +78,31 @@ def main() -> int:
     if ab["disabled_overhead_pct"] > 3.0:
         failures.append("e16.tracing[disabled]")
 
+    # watch-bus cancel churn: the O(1) per-line watcher sets, gated
+    # against the committed baseline like any events/sec figure
+    from benchmarks.bench_engine_throughput import (bench_watch_cancel,
+                                                    coherence_ab)
+    fresh_cancel = bench_watch_cancel(trials=5)
+    check("watch.cancel_churn",
+          engine_base["watch_cancel"]["cancels_per_sec"],
+          fresh_cancel["cancels_per_sec"], failures)
+
+    # coherence hook A/B: coherence=None (the default everywhere) must
+    # cost nothing on the store hot path -- same retry discipline as
+    # the tracing gate above
+    for attempt in range(4):
+        coh = coherence_ab()
+        if coh["disabled_overhead_pct"] <= 3.0:
+            break
+    status = "ok" if coh["disabled_overhead_pct"] <= 3.0 else "REGRESSED"
+    print(f"{'coherence[disabled]':42s} overhead "
+          f"{coh['disabled_overhead_pct']:6.2f}%  budget   3.00%  "
+          f"(attempt {attempt + 1})  {status}")
+    print(f"{'coherence[enabled]':42s} overhead "
+          f"{coh['enabled_overhead_pct']:6.2f}%  (informational)")
+    if coh["disabled_overhead_pct"] > 3.0:
+        failures.append("coherence[disabled]")
+
     # PDES shard scaling (process transport, default store): the same
     # sweep cell at 1/2/4 shard workers, each gated independently
     scaling_base = cluster_base["e14"].get("shard_scaling", {})

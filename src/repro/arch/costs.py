@@ -84,6 +84,27 @@ class CostModel:
         vtid->ptid translation hit in the TDT cache vs. a walk of the
         memory-resident table (invtid forces misses).
 
+    Coherence (src/repro/coherence, off by default)
+    -----------------------------------------------
+    dir_arm_cycles
+        ``monitor`` joining a line's directory sharer set: one
+        directory lookup + entry update, of L2-access order.
+    dir_disarm_cycles
+        Retiring a sharer entry when a watch is consumed or cancelled.
+    dir_inval_base_cycles
+        Writer-side fixed cost of a store hitting a shared line: the
+        directory visit that starts the invalidation fan-out.
+    dir_inval_per_sharer_cycles
+        Per-sharer invalidation message; the directory serializes them,
+        so both the writer's charge and the k-th waiter's forward delay
+        grow by this much per sharer.
+    dir_forward_cycles
+        Forwarding the wakeup to one sharer -- a cache-to-cache hop, of
+        L3-access order.
+    tdt_cross_shard_cycles
+        Resolving a vtid homed on another node's TDT partition: one
+        fabric round trip (2 x the 2000-cycle default link base).
+
     Memory system
     -------------
     l1_hit_cycles, l2_hit_cycles, l3_hit_cycles, dram_cycles
@@ -110,6 +131,14 @@ class CostModel:
     rpull_rpush_cycles: int = 3
     tdt_lookup_cycles: int = 1
     tdt_miss_cycles: int = 40
+
+    # --- coherence (directory watch bus + sharded TDT) -------------------
+    dir_arm_cycles: int = 6
+    dir_disarm_cycles: int = 4
+    dir_inval_base_cycles: int = 12
+    dir_inval_per_sharer_cycles: int = 8
+    dir_forward_cycles: int = 20
+    tdt_cross_shard_cycles: int = 4_000
 
     # --- memory system --------------------------------------------------
     l1_hit_cycles: int = 4

@@ -65,17 +65,25 @@ BackendFactory = Callable[..., ServerBackend]
 
 def _build_model(engine: Engine, design: ServerDesign,
                  costs: Optional[CostModel], cores: int,
-                 resident_threads: Optional[int]) -> ServerBackend:
+                 resident_threads: Optional[int],
+                 coherence: Optional[str]) -> ServerBackend:
+    if coherence is not None:
+        raise ConfigError(
+            "the 'model' backend has no machine to attach a coherence "
+            "model to; use backend='isa' with coherence, or drop the "
+            "coherence knob")
     return RpcServerModel(engine, design, costs, cores=cores,
                           resident_threads=resident_threads)
 
 
 def _build_isa(engine: Engine, design: ServerDesign,
                costs: Optional[CostModel], cores: int,
-               resident_threads: Optional[int]) -> ServerBackend:
+               resident_threads: Optional[int],
+               coherence: Optional[str]) -> ServerBackend:
     from repro.backends.machine import MachineBackend
     return MachineBackend(engine, design, costs, cores=cores,
-                          resident_threads=resident_threads)
+                          resident_threads=resident_threads,
+                          coherence=coherence)
 
 
 #: Backend name -> factory. Register new fidelity levels here.
@@ -92,8 +100,13 @@ def backend_names() -> Sequence[str]:
 
 def create_backend(name: str, engine: Engine, design: ServerDesign, *,
                    costs: Optional[CostModel] = None, cores: int = 1,
-                   resident_threads: Optional[int] = None) -> ServerBackend:
+                   resident_threads: Optional[int] = None,
+                   coherence: Optional[str] = None) -> ServerBackend:
     """Build the named backend on ``engine``.
+
+    ``coherence`` names a watch-bus coherence model for the backend's
+    machine (ISA backend only; see
+    :class:`~repro.coherence.directory.DirectoryModel`).
 
     Raises :class:`~repro.errors.ConfigError` on an unknown name, with
     the registered alternatives in the message.
@@ -104,4 +117,5 @@ def create_backend(name: str, engine: Engine, design: ServerDesign, *,
             f"unknown server backend {name!r}; known backends: "
             f"{', '.join(backend_names())} ('model' is the behavioral "
             f"RpcServerModel, 'isa' the full ISA-level machine)")
-    return factory(engine, design, costs, cores, resident_threads)
+    return factory(engine, design, costs, cores, resident_threads,
+                   coherence)

@@ -84,7 +84,8 @@ class MachineBackend:
     def __init__(self, engine: Engine, design: ServerDesign,
                  costs: Optional[CostModel] = None, cores: int = 1,
                  resident_threads: Optional[int] = None,
-                 slots: int = DEFAULT_SLOTS):
+                 slots: int = DEFAULT_SLOTS,
+                 coherence: Optional[str] = None):
         if cores != 1:
             raise ConfigError(
                 f"the 'isa' backend drives a single-core machine, got "
@@ -110,7 +111,7 @@ class MachineBackend:
             slots = 1           # single-threaded by definition
         self.machine = Machine(
             MachineConfig(cores=1, hw_threads_per_core=slots, smt_width=1,
-                          costs=self.costs),
+                          costs=self.costs, coherence=coherence),
             engine=engine)
         self._slots: List[_Slot] = []
         self._free: Deque[_Slot] = deque()

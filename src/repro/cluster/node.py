@@ -39,7 +39,8 @@ class ClusterNode:
                  costs: Optional[CostModel] = None, cores: int = 1,
                  queue_limit: Optional[int] = None,
                  resident_threads: Optional[int] = None,
-                 backend: str = "model", register_obs: bool = True):
+                 backend: str = "model", register_obs: bool = True,
+                 coherence: Optional[str] = None):
         if node_id < 0:
             raise ConfigError(f"node id must be >= 0, got {node_id}")
         if queue_limit is not None and queue_limit < 1:
@@ -54,7 +55,7 @@ class ClusterNode:
         # resident; the caller sizes it to the node's fan-in
         self.server = create_backend(
             backend, engine, design, costs=costs, cores=cores,
-            resident_threads=resident_threads)
+            resident_threads=resident_threads, coherence=coherence)
         self.tracer = Tracer(engine)
         self.admitted = 0
         self.completed = 0

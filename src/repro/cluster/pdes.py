@@ -396,7 +396,10 @@ class ShardWorker:
                                    queue_limit=config.queue_limit,
                                    resident_threads=resident,
                                    backend=config.backend,
-                                   register_obs=False)
+                                   register_obs=False,
+                                   coherence=(None
+                                              if config.coherence == "off"
+                                              else config.coherence))
                 self.nodes[node_id] = node
                 self._response_links[node_id] = (
                     node_link_spec(config, node_id),

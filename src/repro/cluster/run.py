@@ -77,6 +77,8 @@ class ClusterConfig:
     cross_rack_link: Optional[LinkSpec] = None  # client<->other racks
     placement: str = "any"          # "any" | "same-rack" shard placement
     shards: int = 1                 # engine shards (parallel-in-time PDES)
+    coherence: str = "off"          # watch-bus model: "off" | "directory"
+                                    # | "null" (isa backend only)
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -117,6 +119,16 @@ class ClusterConfig:
             raise ConfigError(
                 f"{self.shards} shards need at least as many nodes, "
                 f"got {self.nodes}")
+        if self.coherence != "off":
+            from repro.coherence.directory import MODEL_NAMES
+            if self.coherence not in MODEL_NAMES:
+                raise ConfigError(
+                    f"unknown coherence model {self.coherence!r}; known: "
+                    f"off, {', '.join(MODEL_NAMES)}")
+            if self.backend != "isa":
+                raise ConfigError(
+                    "coherence models attach to a node's machine; use "
+                    "backend='isa' (the 'model' backend has no machine)")
 
     def label(self) -> str:
         """Stable stream-name prefix for this configuration.
@@ -131,6 +143,8 @@ class ClusterConfig:
         extra = ""
         if self.backend != "model":
             extra += f".{self.backend}"
+        if self.coherence != "off":
+            extra += f".coh-{self.coherence}"
         if self.probe_delay_cycles:
             extra += f".pd{self.probe_delay_cycles}"
         if self.racks > 1:
@@ -204,11 +218,13 @@ def build_cluster(config: ClusterConfig, streams: RngStreams,
     # threads_per_peer worker connections resident on each node
     resident = (config.threads_per_peer * config.nodes
                 if config.threads_per_peer > 0 else None)
+    coherence = None if config.coherence == "off" else config.coherence
     nodes = [ClusterNode(engine, node_id, config.design, costs,
                          cores=config.cores_per_node,
                          queue_limit=config.queue_limit,
                          resident_threads=resident,
-                         backend=config.backend)
+                         backend=config.backend,
+                         coherence=coherence)
              for node_id in range(config.nodes)]
     # "same-rack" placement keeps shards in the client's rack (rack 0,
     # node_id % racks == 0); "any" spreads over the whole cluster

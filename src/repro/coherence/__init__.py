@@ -1,0 +1,29 @@
+"""Coherence: pricing the paper's primitives at datacenter scale.
+
+Three layers, built bottom-up (see docs/coherence.md):
+
+- :mod:`repro.coherence.directory` -- an MSI-style per-line directory
+  behind the watch bus, so ``monitor``/``mwait`` and watched-line
+  writes pay real invalidation/forward cycles (off by default;
+  byte-identical to the seed's flat bus when off);
+- :mod:`repro.coherence.remote` -- cross-machine mwait: RDMA-style
+  remote stores into per-node mailbox lines, carried by the cluster
+  fabric and delivered as real stores through the destination's watch
+  bus;
+- :mod:`repro.coherence.tdt_shard` -- per-node TDT partitions with
+  cross-shard resolution latency and invtid fan-out.
+
+Experiment E17 caps the subsystem.
+"""
+
+from repro.coherence.directory import MODEL_NAMES, DirectoryModel
+from repro.coherence.remote import MailboxWindow, RemoteStoreFabric
+from repro.coherence.tdt_shard import ShardedTdt
+
+__all__ = [
+    "DirectoryModel",
+    "MODEL_NAMES",
+    "MailboxWindow",
+    "RemoteStoreFabric",
+    "ShardedTdt",
+]

@@ -1,0 +1,170 @@
+"""Sharded TDT: per-node partitions with cross-shard resolution cost.
+
+The paper's TDT is a per-machine table (Section 3.2). Lifting it to a
+cluster -- so a vtid names a thread on *any* node, the move
+"Virtual-Threading" (PAPERS.md) makes within one chip -- shards the
+table: vtid ``v`` lives on its *home* shard ``v % n``. A resolution
+from the home shard is the ordinary cached walk
+(:class:`~repro.hw.tdt.TdtCache`); a resolution from anywhere else must
+either hit the caller's bounded remote-entry cache
+(``tdt_lookup_cycles``, same as a local hit) or cross the fabric to the
+home shard's memory-resident table
+(``tdt_cross_shard_cycles + tdt_miss_cycles``).
+
+``invtid`` keeps its paper semantics -- an update is invisible until
+explicitly invalidated -- but now the invalidation fans out to every
+shard's caches, and under fan-out the *miss amplification* appears:
+a caller touching F random vtids sees ~``F x (1 - 1/n)`` of them homed
+remotely, so churn that would cost a flat table one 40-cycle walk costs
+the sharded table a cross-fabric round trip. Experiment E17 sweeps
+exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.costs import CostModel
+from repro.errors import ConfigError
+from repro.hw.tdt import (
+    ENTRY_WORDS,
+    Permission,
+    TdtCache,
+    TdtEntry,
+    ThreadDescriptorTable,
+)
+from repro.mem.memory import Memory
+
+#: Remote TDT entries each caller may cache before FIFO eviction.
+DEFAULT_REMOTE_CACHE_ENTRIES = 64
+
+
+class ShardedTdt:
+    """``n`` per-node TDT partitions behind one resolution front-end."""
+
+    def __init__(self, tables: Sequence[ThreadDescriptorTable],
+                 costs: Optional[CostModel] = None,
+                 remote_cache_entries: int = DEFAULT_REMOTE_CACHE_ENTRIES):
+        if not tables:
+            raise ConfigError("a sharded TDT needs at least one partition")
+        if remote_cache_entries < 1:
+            raise ConfigError(
+                f"remote cache needs >= 1 entry, got {remote_cache_entries}")
+        self.tables = list(tables)
+        self.n = len(self.tables)
+        self.costs = costs or CostModel()
+        self.remote_cache_entries = remote_cache_entries
+        # per-shard local translation caches (real TdtCache hardware)
+        self._local: List[TdtCache] = [TdtCache(costs=self.costs)
+                                       for _ in self.tables]
+        # per-caller bounded FIFO caches of *remote* entries
+        self._remote: List["OrderedDict[int, TdtEntry]"] = [
+            OrderedDict() for _ in self.tables]
+        self.local_resolutions = 0
+        self.remote_hits = 0
+        self.remote_misses = 0
+        self.invalidations = 0
+        self.cycles_total = 0
+        self.cross_shard_cycles = 0
+        import repro.obs as obs
+        session = obs.active()
+        if session is not None:
+            session.register_source("coherence.tdt", self._fill_metrics)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, memories: Sequence[Memory], population: int,
+              ptid_of=lambda vtid: vtid % 32,
+              permissions: Permission = Permission.ALL,
+              costs: Optional[CostModel] = None,
+              remote_cache_entries: int = DEFAULT_REMOTE_CACHE_ENTRIES
+              ) -> "ShardedTdt":
+        """Carve one partition out of each node memory and populate it
+        with the vtids homed there (``vtid % len(memories)``)."""
+        tables = []
+        for shard, memory in enumerate(memories):
+            region = memory.alloc(f"tdt-shard{shard}",
+                                  population * ENTRY_WORDS * 8)
+            table = ThreadDescriptorTable(memory, region.base,
+                                          capacity=population)
+            for vtid in range(shard, population, len(memories)):
+                table.set_entry(vtid, ptid_of(vtid), permissions)
+            tables.append(table)
+        return cls(tables, costs=costs,
+                   remote_cache_entries=remote_cache_entries)
+
+    # ------------------------------------------------------------------
+    def home(self, vtid: int) -> int:
+        return vtid % self.n
+
+    def resolve(self, caller_shard: int, vtid: int) -> Tuple[TdtEntry, int]:
+        """Translate ``vtid`` as seen from ``caller_shard``.
+
+        Returns ``(entry, latency_cycles)``.
+        """
+        if not 0 <= caller_shard < self.n:
+            raise ConfigError(
+                f"caller shard {caller_shard} out of range [0, {self.n})")
+        home = self.home(vtid)
+        if home == caller_shard:
+            table = self.tables[home]
+            entry, cycles = self._local[home].lookup(
+                table.memory, table.base, vtid)
+            self.local_resolutions += 1
+        else:
+            cache = self._remote[caller_shard]
+            entry = cache.get(vtid)
+            if entry is not None:
+                cycles = self.costs.tdt_lookup_cycles
+                self.remote_hits += 1
+            else:
+                entry = self.tables[home].get_entry(vtid)
+                cycles = (self.costs.tdt_cross_shard_cycles
+                          + self.costs.tdt_miss_cycles)
+                self.remote_misses += 1
+                self.cross_shard_cycles += self.costs.tdt_cross_shard_cycles
+                cache[vtid] = entry
+                if len(cache) > self.remote_cache_entries:
+                    cache.popitem(last=False)
+        self.cycles_total += cycles
+        return entry, cycles
+
+    def invalidate(self, vtid: int) -> None:
+        """Cluster-wide ``invtid``: drop ``vtid`` from every cache."""
+        self.invalidations += 1
+        home = self.home(vtid)
+        table = self.tables[home]
+        self._local[home].invalidate(table.base, vtid)
+        for cache in self._remote:
+            cache.pop(vtid, None)
+
+    def update(self, vtid: int, ptid: int,
+               permissions: Permission) -> None:
+        """Write ``vtid``'s home entry *and* broadcast the invtid (the
+        paper's required sequence)."""
+        self.tables[self.home(vtid)].set_entry(vtid, ptid, permissions)
+        self.invalidate(vtid)
+
+    # ------------------------------------------------------------------
+    def resolutions(self) -> int:
+        return (self.local_resolutions + self.remote_hits
+                + self.remote_misses)
+
+    def mean_cycles(self) -> float:
+        done = self.resolutions()
+        return self.cycles_total / done if done else 0.0
+
+    def _fill_metrics(self, registry, prefix: str) -> None:
+        registry.inc(f"{prefix}.local_resolutions", self.local_resolutions)
+        registry.inc(f"{prefix}.remote_hits", self.remote_hits)
+        registry.inc(f"{prefix}.remote_misses", self.remote_misses)
+        registry.inc(f"{prefix}.invalidations", self.invalidations)
+        registry.inc(f"{prefix}.cycles", self.cycles_total)
+        registry.inc(f"{prefix}.cross_shard_cycles", self.cross_shard_cycles)
+        registry.set(f"{prefix}.shards", self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ShardedTdt shards={self.n}"
+                f" resolutions={self.resolutions()}"
+                f" remote_misses={self.remote_misses}>")

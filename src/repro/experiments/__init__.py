@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E01-E16.
+"""The evaluation harness: experiments E01-E17.
 
 The paper is a HotOS vision paper with one table (the example TDT) and
 no measured figures; its evaluation surface is the set of quantitative
@@ -42,6 +42,7 @@ from repro.experiments import (  # noqa: E402  (registration imports)
     e14_cluster,
     e15_backend_agreement,
     e16_tail_anatomy,
+    e17_coherence,
 )
 
 __all__ = [

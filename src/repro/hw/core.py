@@ -592,6 +592,11 @@ class HWCore:
         addr = self._reg(thread, ops[0]) + ops[1].value
         self.memory.store(addr, self._reg(thread, ops[2]),
                           source=f"cpu:core{self.core_id}.ptid{thread.ptid}")
+        coherence = self.memory.watch_bus.coherence
+        if coherence is not None:
+            # writer-side directory charge: invalidating the sharers of
+            # a watched line is not free (0 for untracked lines)
+            return self.costs.l1_hit_cycles + coherence.last_write_cycles
         return self.costs.l1_hit_cycles
 
     def _op_faa(self, thread, ops):
@@ -600,6 +605,9 @@ class HWCore:
             addr, ops[2].value,
             source=f"cpu:core{self.core_id}.ptid{thread.ptid}")
         thread.arch.write(ops[0].name, new)
+        coherence = self.memory.watch_bus.coherence
+        if coherence is not None:
+            return self.costs.l1_hit_cycles + coherence.last_write_cycles
         return self.costs.l1_hit_cycles
 
     # --- control flow -------------------------------------------------------
@@ -658,8 +666,9 @@ class HWCore:
 
     # --- monitor / mwait ---------------------------------------------------
     def _op_monitor(self, thread, ops):
-        thread.monitor.arm(self._reg(thread, ops[0]))
-        return 0
+        # the return is the directory arm cost: joining the line's
+        # sharer set (0 on the flat bus, the default)
+        return thread.monitor.arm(self._reg(thread, ops[0]))
 
     def _op_mwait(self, thread, ops):
         if thread.monitor.wait():
@@ -684,10 +693,12 @@ class HWCore:
 
     def _op_stop(self, thread, ops):
         target, extra = self._authorize(thread, ops[0], Permission.STOP)
-        target.monitor.cancel()
+        # stopping a waiting ptid retires its directory sharer entries
+        # (0 on the flat bus)
+        disarm = target.monitor.cancel()
         target.make_disabled()
         target.stops += 1
-        return extra + self.costs.hw_stop_cycles
+        return extra + self.costs.hw_stop_cycles + disarm
 
     def _op_rpull(self, thread, ops):
         target, extra = self._authorize_register(

@@ -38,14 +38,19 @@ class MonitorUnit:
         self.total_fallthroughs = 0
 
     # ------------------------------------------------------------------
-    def arm(self, addr: int) -> None:
-        """The ``monitor`` instruction: add ``addr`` to the armed set."""
+    def arm(self, addr: int) -> int:
+        """The ``monitor`` instruction: add ``addr`` to the armed set.
+
+        Returns the directory arm cost in cycles (0 on the flat bus),
+        which the issuing core charges to the instruction.
+        """
         if self._watch is None or not self._watch.armed:
             self._watch = self.bus.watch([], owner=self.owner)
             self._watch.signal.add_waiter(self._triggered)
-        self._watch.add_address(addr)
+        cycles = self._watch.add_address(addr)
         self.armed_addresses.append(addr)
         self.total_arms += 1
+        return cycles
 
     def wait(self) -> bool:
         """The ``mwait`` instruction.
@@ -60,9 +65,12 @@ class MonitorUnit:
             return False
         return self._watch is not None and self._watch.armed
 
-    def cancel(self) -> None:
-        """Disarm (used when the ptid is stopped while waiting)."""
-        self._consume()
+    def cancel(self) -> int:
+        """Disarm (used when the ptid is stopped while waiting).
+
+        Returns the directory disarm cost in cycles (0 on the flat
+        bus)."""
+        return self._consume()
 
     @property
     def armed(self) -> bool:
@@ -77,13 +85,15 @@ class MonitorUnit:
         if callback is not None:
             callback(info)
 
-    def _consume(self) -> None:
+    def _consume(self) -> int:
         self.pending = False
         self.pending_info = None
         self.armed_addresses = []
+        cycles = 0
         if self._watch is not None:
-            self._watch.cancel()
+            cycles = self._watch.cancel()
             self._watch = None
+        return cycles
 
     def consume_wakeup(self) -> Optional[dict]:
         """Core-side: clear state after waking the thread; returns the

@@ -15,6 +15,7 @@ build TDTs, run the simulation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -59,6 +60,12 @@ class MachineConfig:
     #: identical either way, only wall-clock differs. The
     #: REPRO_NO_FASTFORWARD env var overrides this to False.
     fast_forward: bool = True
+    #: watch-bus coherence model: None (flat free bus, the seed
+    #: behavior), "directory" (MSI directory priced by the CostModel's
+    #: dir_* fields), or "null" (directory protocol at zero cost, for
+    #: identity audits). The REPRO_COHERENCE env var supplies a value
+    #: when this is None.
+    coherence: Optional[str] = None
 
     def validate(self) -> None:
         if self.cores < 1:
@@ -69,6 +76,12 @@ class MachineConfig:
             raise ConfigError(
                 f"issue_policy must be 'rr' or 'priority', "
                 f"got {self.issue_policy!r}")
+        if self.coherence is not None:
+            from repro.coherence.directory import MODEL_NAMES
+            if self.coherence not in MODEL_NAMES:
+                raise ConfigError(
+                    f"unknown coherence model {self.coherence!r}; known "
+                    f"models: {', '.join(MODEL_NAMES)}")
 
 
 class Machine:
@@ -122,6 +135,20 @@ class Machine:
                 core.attach_obs(self.obs)
             if session is not None:
                 session.register_machine(self)
+        # coherence: attach the directory model before anything arms a
+        # watch, so its sharer sets mirror the bus from the first
+        # monitor on. Registered with the ambient session where the
+        # machine lives (a PDES shard worker ships it home per node).
+        coherence = config.coherence or os.environ.get("REPRO_COHERENCE")
+        self.coherence = None
+        if coherence:
+            from repro.coherence.directory import DirectoryModel
+            self.coherence = DirectoryModel.from_name(
+                coherence, costs=config.costs, engine=self.engine)
+            self.memory.watch_bus.coherence = self.coherence
+            if session is not None:
+                session.register_source("coherence.directory",
+                                        self.coherence._fill_metrics)
 
     # ------------------------------------------------------------------
     # convenience accessors

@@ -8,12 +8,19 @@ memory-mapped I/O registers."
 Watches are line-granular (default 64 B), like real MONITOR, so a write
 to any byte of the watched line triggers the waiter -- the aliasing this
 implies is intentional and covered by tests.
+
+Coherence is pluggable: with :attr:`WatchBus.coherence` left at ``None``
+(the default everywhere) the bus is the seed's flat, free broadcast --
+byte-identical behavior. Attaching a
+:class:`~repro.coherence.directory.DirectoryModel` routes arms, disarms,
+and watched-line writes through an MSI-style directory that prices them
+and forwards wakeups with per-sharer delays.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 from repro.sim.process import Signal
 
@@ -40,26 +47,43 @@ class Watch:
         self.trigger_count = 0
         self.last_trigger: Optional[Dict[str, Any]] = None
 
-    def add_address(self, addr: int) -> None:
-        """Watch the cache line containing ``addr``."""
+    def add_address(self, addr: int) -> int:
+        """Watch the cache line containing ``addr``.
+
+        Returns the directory arm cost in cycles (0 with no coherence
+        model attached, or when the line was already watched).
+        """
         line = addr // self.bus.line_bytes
         if line not in self.lines:
             self.lines.add(line)
-            self.bus._line_watches[line].append(self)
+            self.bus._line_watches[line][self] = None
+            coherence = self.bus.coherence
+            if coherence is not None:
+                return coherence.on_arm(line, self)
+        return 0
 
     def covers(self, addr: int) -> bool:
         return (addr // self.bus.line_bytes) in self.lines
 
-    def cancel(self) -> None:
-        """Disarm and deregister. Idempotent."""
+    def cancel(self) -> int:
+        """Disarm and deregister. Idempotent.
+
+        Returns the directory disarm cost in cycles (0 with no
+        coherence model attached).
+        """
         if not self.armed:
-            return
+            return 0
         self.armed = False
+        coherence = self.bus.coherence
+        cycles = 0
         for line in self.lines:
             watchers = self.bus._line_watches.get(line)
-            if watchers and self in watchers:
-                watchers.remove(self)
+            if watchers is not None:
+                watchers.pop(self, None)
+            if coherence is not None:
+                cycles += coherence.on_disarm(line, self)
         self.lines.clear()
+        return cycles
 
     def _trigger(self, addr: int, value: int, source: str) -> None:
         self.trigger_count += 1
@@ -72,9 +96,16 @@ class WatchBus:
 
     def __init__(self, line_bytes: int = LINE_BYTES):
         self.line_bytes = line_bytes
-        self._line_watches: Dict[int, List[Watch]] = defaultdict(list)
+        # line -> insertion-ordered set of watches. A dict keyed by the
+        # watch gives O(1) cancel while keeping the flat bus's exact
+        # arm-order iteration (a swap-remove list would reorder
+        # wakeups and break byte-identity).
+        self._line_watches: Dict[int, Dict[Watch, None]] = defaultdict(dict)
         self.total_notifications = 0
         self.total_triggers = 0
+        #: pluggable coherence model (None = flat free bus, the seed
+        #: behavior; see repro.coherence.directory.DirectoryModel)
+        self.coherence = None
 
     def watch(self, addresses, owner: Any = None) -> Watch:
         """Arm a watch over one address or an iterable of addresses."""
@@ -86,9 +117,17 @@ class WatchBus:
         return watch
 
     def notify(self, addr: int, value: int, source: str = "cpu") -> int:
-        """A write happened; trigger covering watches. Returns count."""
+        """A write happened; trigger covering watches. Returns count.
+
+        With a coherence model attached the count is the number of
+        wakeup *forwards initiated* (delivery may be deferred by the
+        directory's forward latency); the flat path fires synchronously.
+        """
         self.total_notifications += 1
         line = addr // self.line_bytes
+        coherence = self.coherence
+        if coherence is not None:
+            return coherence.on_write(self, line, addr, value, source)
         watchers = self._line_watches.get(line)
         if not watchers:
             return 0
@@ -135,7 +174,7 @@ class WatchBus:
     def watchers_on(self, addr: int) -> int:
         """How many armed watches cover ``addr`` (diagnostics)."""
         line = addr // self.line_bytes
-        return sum(1 for w in self._line_watches.get(line, []) if w.armed)
+        return sum(1 for w in self._line_watches.get(line, ()) if w.armed)
 
     def __repr__(self) -> str:  # pragma: no cover
         lines = sum(1 for ws in self._line_watches.values() if ws)

@@ -34,6 +34,10 @@ prefix              meaning
                     counters and the end-to-end latency histogram
 ``cluster.node{N}.*``  per-node admission/completion/busy counters
 ``cluster.fabric{N}.*``  network fabric sends, drops, delay cycles
+``coherence.directory{N}.*``  watch-bus directory: arm/disarm/
+                    invalidation/forward counters and charged cycles
+``coherence.remote{N}.*``  RDMA-style remote mailbox stores
+``coherence.tdt{N}.*``  sharded-TDT resolutions and cross-shard cycles
 ==================  ====================================================
 """
 
@@ -65,6 +69,15 @@ NAMESPACE = {
     "cluster.node{N}": "per-node admission/completion/busy counters and "
                        "in-flight gauge",
     "cluster.fabric{N}": "network fabric sends, drops, and delay cycles",
+    "coherence.directory{N}": "watch-bus MSI directory: arm/disarm/"
+                              "invalidation/forward counters, charged "
+                              "writer/arm/forward cycles, and the "
+                              "tracked-line gauge",
+    "coherence.remote{N}": "RDMA-style remote mailbox stores: "
+                           "sent/delivered/dropped over the fabric",
+    "coherence.tdt{N}": "sharded TDT: local/remote resolutions, remote "
+                        "cache hits/misses, invtid broadcasts, and "
+                        "cross-shard cycles",
 }
 
 

@@ -12,7 +12,7 @@ from repro.experiments.registry import register
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [e.experiment_id for e in all_experiments()]
-        assert ids == [f"E{i:02d}" for i in range(1, 17)]
+        assert ids == [f"E{i:02d}" for i in range(1, 18)]
 
     def test_lookup_by_id(self):
         exp = get_experiment("E05")
@@ -283,6 +283,56 @@ class TestE16Shape:
         isa = results["E16"].series("isa")
         assert isa["sw-threads"]["p99"]["tax_share"] \
             > isa["hw-threads"]["p99"]["tax_share"]
+
+
+class TestE17Shape:
+    def test_last_wake_monotone_in_sharers(self, results):
+        sweep = results["E17"].series("sharer_sweep")
+        last = [row["last_wake"] for row in sweep]
+        assert all(a < b for a, b in zip(last, last[1:]))
+
+    def test_first_wake_flat_in_sharers(self, results):
+        # the first forward leaves the directory at index 0 regardless
+        # of how many sharers queue behind it
+        sweep = results["E17"].series("sharer_sweep")
+        first = [row["first_wake"] for row in sweep]
+        assert len(set(first)) == 1
+
+    def test_writer_pays_per_sharer(self, results):
+        from repro.arch.costs import CostModel
+        costs = CostModel()
+        for row in results["E17"].series("sharer_sweep"):
+            assert row["writer_cycles"] == (
+                costs.dir_inval_base_cycles
+                + costs.dir_inval_per_sharer_cycles * row["sharers"])
+
+    def test_remote_mwait_beats_callback(self, results):
+        for row in results["E17"].series("remote_mwait"):
+            assert row["rdma_p50"] < row["callback_p50"]
+            assert row["rdma_p99"] < row["callback_p99"]
+            assert row["callback_tax_p50"] / row["rdma_tax_p50"] >= 10
+
+    def test_p50_gap_is_the_transition_tax(self, results):
+        overhead = results["E17"].series("sw_transition_overhead")
+        for row in results["E17"].series("remote_mwait"):
+            gap = row["callback_p50"] - row["rdma_p50"]
+            assert 0.8 * overhead <= gap <= 1.1 * overhead
+
+    def test_tdt_amplification_grows_with_fanout(self, results):
+        rows = results["E17"].series("tdt_amplification")
+        amps = [row["amplification"] for row in rows]
+        assert all(a < b for a, b in zip(amps, amps[1:]))
+        assert amps[-1] > 10 * amps[0] / rows[-1]["fanout"]
+
+    def test_flat_tdt_bill_is_one_rewalk(self, results):
+        from repro.arch.costs import CostModel
+        costs = CostModel()
+        rewalk = costs.tdt_miss_cycles - costs.tdt_lookup_cycles
+        for row in results["E17"].series("tdt_amplification"):
+            assert row["flat_cycles_per_invtid"] == rewalk
+
+    def test_all_claims_supported(self, results):
+        assert results["E17"].all_supported()
 
 
 class TestEngineQueueIdentity:
