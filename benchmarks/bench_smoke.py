@@ -113,6 +113,16 @@ def main() -> int:
               cell["events_per_sec"],
               fresh_scaling[shards]["events_per_sec"], failures)
 
+    # decoded-dispatch throughput: fresh instr/sec per loop shape with
+    # the decode cache on, gated against the committed baseline (a
+    # regression here means the handler chains or fusion got slower)
+    from benchmarks.bench_isa_dispatch import micro_bench as isa_dispatch
+    fresh_isa = isa_dispatch(scale=2)
+    for name, cell in engine_base["isa_dispatch"]["workloads"].items():
+        check(f"isa_dispatch.{name}[predecode]",
+              cell["predecode_instr_per_sec"],
+              fresh_isa[name]["predecode_instr_per_sec"], failures)
+
     if failures:
         print(f"\nevents/sec regression >{TOLERANCE_PCT}% in: "
               + ", ".join(failures))

@@ -51,7 +51,59 @@ def isa_markdown() -> str:
             f"| `{spec.name}` | {' '.join(spec.operands) or '-'} "
             f"| {spec.latency} | {'yes' if spec.privileged else ''} "
             f"| {spec.description} |")
-    lines.append("")
+    from repro.isa.decode import FUSABLE_OPS
+    fusable = ", ".join(f"`{name}`" for name in sorted(FUSABLE_OPS))
+    lines += [
+        "",
+        "## Pre-decoded handler chains",
+        "",
+        "The interpreter does not re-parse `Instruction` tuples on the",
+        "hot path. The first time a `Program` runs on a core,",
+        "`repro.isa.decode` lowers it to a `DecodedProgram`: one bound",
+        "handler per instruction with operands resolved, labels turned",
+        "into indices, and the static issue latency folded in, cached",
+        "on the `Program` and shared by every hardware thread that runs",
+        "it. `HWCore` then dispatches through the decoded table instead",
+        "of the opcode `match`. Decoding is *behaviorally invisible*:",
+        "every experiment table is byte-identical with it on or off",
+        "(the `predecode-identity` CI job diffs E09/E15 under both",
+        "engine queues), and E18 measures the mechanisms directly.",
+        "",
+        "### Superinstruction fusion",
+        "",
+        "Straight-line runs (length >= 2) of pure register ALU ops --",
+        f"{fusable} --",
+        "are additionally fused into one superinstruction that retires",
+        "the whole run in a single engine event, charging the summed",
+        "latency. A fused run only executes from its *first* index; a",
+        "jump into the middle of a run falls back to the per-",
+        "instruction handlers, and anything that can observe",
+        "mid-run state (stops, faults) rewinds via an undo log so",
+        "architectural state is exactly what naive stepping produces.",
+        "",
+        "### Turning it off",
+        "",
+        "`build_machine(predecode=False)` or `REPRO_NO_PREDECODE=1`",
+        "forces the naive interpreter (the env var is how CI proves",
+        "identity). Attaching an instruction tracer also falls back to",
+        "naive stepping, since tracing wants one event per instruction.",
+        "`benchmarks/bench_isa_dispatch.py` records the wall-clock win",
+        "per loop shape in `BENCH_engine.json` (`isa_dispatch`).",
+        "",
+        "## Weighted round-robin issue",
+        "",
+        "`build_machine(issue_policy='wrr')` selects a credit-based",
+        "weighted round-robin arbiter (Section 4's \"hardware support",
+        "for thread priorities\" without preemption): each hardware",
+        "thread holds an integer credit balance, a ring walk spends one",
+        "credit per issue, and balances refill by `weight` once every",
+        "ring pass. Selection is O(1) per issued instruction, shares",
+        "converge to exact weight proportions under contention (E18",
+        "table 1), and at uniform weights the pick stream -- including",
+        "the stored ring pointer -- is identical to plain `rr`. Set",
+        "weights with `core.set_priority(ptid, weight)`.",
+        "",
+    ]
     return "\n".join(lines)
 
 

@@ -106,6 +106,28 @@ def build_register_specs(gpr_count: int = GPR_COUNT,
     return specs
 
 
+_SPEC_CACHE: Dict[tuple, Dict[str, RegisterSpec]] = {}
+
+
+def register_specs(gpr_count: int = GPR_COUNT,
+                   vector_count: int = 16) -> Dict[str, RegisterSpec]:
+    """Shared (memoized) register map for a given geometry.
+
+    :class:`RegisterSpec` is frozen and callers only look specs up, so
+    every :class:`~repro.arch.state.ArchState` of the same shape can
+    share one dict instead of rebuilding ~37 dataclass instances per
+    thread (a measurable cost when a cluster boots hundreds of ptids).
+    Callers that want a private, mutable map should keep using
+    :func:`build_register_specs`.
+    """
+    key = (gpr_count, vector_count)
+    specs = _SPEC_CACHE.get(key)
+    if specs is None:
+        specs = build_register_specs(gpr_count, vector_count)
+        _SPEC_CACHE[key] = specs
+    return specs
+
+
 def state_bytes(with_vector: bool) -> int:
     """Per-thread state footprint, per the paper's x86-64 numbers."""
     return X86_64_FULL_STATE_BYTES if with_vector else X86_64_BASE_STATE_BYTES

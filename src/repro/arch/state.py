@@ -16,7 +16,7 @@ from repro.arch.registers import (
     GPR_COUNT,
     RegisterClass,
     RegisterSpec,
-    build_register_specs,
+    register_specs,
     state_bytes,
 )
 from repro.errors import IsaError
@@ -53,7 +53,8 @@ class ArchState:
         self.priv: int = 1 if supervisor else 0
         self.vectors: List[int] = [0] * vector_count
         self.vector_dirty: bool = False
-        self._specs: Dict[str, RegisterSpec] = build_register_specs(
+        # shared frozen map -- never mutated through this reference
+        self._specs: Dict[str, RegisterSpec] = register_specs(
             gpr_count, vector_count)
 
     # ------------------------------------------------------------------

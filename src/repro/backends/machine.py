@@ -36,12 +36,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.analysis.stats import LatencyRecorder
 from repro.arch.costs import CostModel
 from repro.distributed.rpc import ServerDesign
 from repro.errors import ConfigError
+from repro.isa.assembler import AsmTemplate
 from repro.machine import Machine, MachineConfig
 from repro.sim.engine import Engine
 
@@ -53,6 +54,66 @@ DEFAULT_SLOTS = 32
 #: the ``halt`` after the store must retire before a new program can be
 #: bound to the ptid. Deterministic and tiny next to any segment.
 _SLOT_DRAIN_CYCLES = 2
+
+
+#: (shape, req, reply, done) -> parsed-once program template, shared
+#: across backends and runs (shape 0 = the one-segment event-loop
+#: continuation, n >= 1 = an n-segment thread-per-request program).
+#: Only the ``work`` immediates change between requests of the same
+#: shape on the same slot, so they are the template's only dynamic
+#: holes; the slot's mailbox addresses are baked in as symbols (machine
+#: memory layout is deterministic, so the same (shape, bases) tuple
+#: recurs across every backend/run and the cache hits globally).
+#: Binding the holes skips the text assembler entirely and reuses the
+#: shared pre-decoded handler chain.
+_TEMPLATES: Dict[tuple, AsmTemplate] = {}
+
+
+def _request_asm(nsegs: int) -> str:
+    """Straight-line blocking code for one whole request."""
+    lines = ["    work W0"]
+    for index in range(1, nsegs):
+        lines += [
+            "    movi r1, REPLY",
+            "    monitor r1",        # armed before the call: no
+            "    movi r2, REQ",      # lost wakeup on a fast reply
+            f"    movi r3, {index}",
+            "    st r2, 0, r3",      # issue the remote call
+            "    mwait",             # simple blocking semantics
+            f"    work W{index}",
+        ]
+    lines += [
+        "    movi r4, DONE",
+        "    movi r5, 1",
+        "    st r4, 0, r5",
+        "    halt",
+    ]
+    return "\n".join(lines)
+
+
+def _segment_asm() -> str:
+    """One run-to-completion event-loop callback."""
+    return "\n".join([
+        "    work W0",
+        "    movi r1, DONE",
+        "    movi r2, 1",
+        "    st r1, 0, r2",
+        "    halt",
+    ])
+
+
+def _template(shape: int, slot: _Slot) -> AsmTemplate:
+    key = (shape, slot.req_base, slot.reply_base, slot.done_base)
+    template = _TEMPLATES.get(key)
+    if template is None:
+        source = _segment_asm() if shape == 0 else _request_asm(shape)
+        template = AsmTemplate(
+            source, name=f"isa-backend.shape{shape}",
+            symbols={"REQ": slot.req_base, "REPLY": slot.reply_base,
+                     "DONE": slot.done_base},
+            dynamic=tuple(f"W{i}" for i in range(max(shape, 1))))
+        _TEMPLATES[key] = template
+    return template
 
 
 @dataclass
@@ -76,6 +137,9 @@ class _Slot:
     reply_base: int
     done_base: int
     current: Optional[_Pending] = field(default=None)
+    #: per-shape bound program instances, rebound (not rebuilt) per
+    #: request -- a slot serves one request at a time, so reuse is safe
+    bound: Dict[int, object] = field(default_factory=dict)
 
 
 class MachineBackend:
@@ -113,25 +177,34 @@ class MachineBackend:
             MachineConfig(cores=1, hw_threads_per_core=slots, smt_width=1,
                           costs=self.costs, coherence=coherence),
             engine=engine)
+        # Slots materialize on first use (mailbox allocation + watch
+        # subscriptions are the bulk of construction, and a lightly
+        # loaded node touches a handful of its 32 slots). The FIFO free
+        # deque hands out ptids in ascending order, so the on-demand
+        # allocation stream -- and with it every region base address --
+        # is identical to eager construction.
+        self._slot_budget = slots
         self._slots: List[_Slot] = []
         self._free: Deque[_Slot] = deque()
-        for ptid in range(slots):
-            slot = _Slot(
-                ptid=ptid,
-                req_base=self.machine.alloc(f"req{ptid}", 64).base,
-                reply_base=self.machine.alloc(f"reply{ptid}", 64).base,
-                done_base=self.machine.alloc(f"done{ptid}", 64).base)
-            self._slots.append(slot)
-            self._free.append(slot)
-            bus = self.machine.memory.watch_bus
-            if design.name != "event-loop":
-                bus.subscribe(slot.req_base, self._make_peer(slot),
-                              owner=f"net-peer{ptid}")
-            bus.subscribe(slot.done_base, self._make_done(slot),
-                          owner=f"completion{ptid}")
         #: overflow requests (thread-per-request) or continuations
         #: (event-loop), both strictly FIFO
         self._backlog: Deque[_Pending] = deque()
+
+    def _grow_slot(self) -> _Slot:
+        ptid = len(self._slots)
+        slot = _Slot(
+            ptid=ptid,
+            req_base=self.machine.alloc(f"req{ptid}", 64).base,
+            reply_base=self.machine.alloc(f"reply{ptid}", 64).base,
+            done_base=self.machine.alloc(f"done{ptid}", 64).base)
+        self._slots.append(slot)
+        bus = self.machine.memory.watch_bus
+        if self.design.name != "event-loop":
+            bus.subscribe(slot.req_base, self._make_peer(slot),
+                          owner=f"net-peer{ptid}")
+        bus.subscribe(slot.done_base, self._make_done(slot),
+                      owner=f"completion{ptid}")
+        return slot
 
     # ------------------------------------------------------------------
     def submit(self, request_id: int, segment_cycles: List[float],
@@ -189,55 +262,41 @@ class MachineBackend:
         return [max(1, int(round(seg))) + tax for seg in segment_cycles]
 
     def _dispatch(self) -> None:
-        while self._backlog and self._free:
-            slot = self._free.popleft()
+        while self._backlog:
+            # fresh slots first, recycled ones after -- the same order
+            # the eager free deque (0..N-1, completions appended behind)
+            # used to hand out, so slot/mailbox assignment is unchanged
+            if len(self._slots) < self._slot_budget:
+                slot = self._grow_slot()
+            elif self._free:
+                slot = self._free.popleft()
+            else:
+                return
             slot.current = self._backlog.popleft()
             self._load_slot(slot)
 
     def _load_slot(self, slot: _Slot) -> None:
         pending = slot.current
         if self.design.name == "event-loop":
-            source = self._segment_asm(pending)
+            # every continuation is the same one-segment shape: key 0
+            shape = 0
+            values = {"W0": pending.segments[pending.next_segment]}
         else:
-            source = self._request_asm(pending)
-        self.machine.load_asm(
-            slot.ptid, source,
-            symbols={"REQ": slot.req_base, "REPLY": slot.reply_base,
-                     "DONE": slot.done_base},
-            supervisor=False,
-            name=f"{self.design.name}.req{pending.request_id}")
+            shape = len(pending.segments)
+            values = {f"W{i}": work
+                      for i, work in enumerate(pending.segments)}
+        template = _template(shape, slot)
+        name = f"{self.design.name}.req{pending.request_id}"
+        program = slot.bound.get(shape)
+        if program is None:
+            program = template.instantiate(values, name=name)
+            slot.bound[shape] = program
+        else:
+            # same shape, new immediates: patch the existing instance
+            # (and its decoded chain) rather than rebuild both
+            template.rebind(program, values, name=name)
+        self.machine.load_program(slot.ptid, program, supervisor=False)
         self.machine.boot(slot.ptid)
-
-    def _request_asm(self, pending: _Pending) -> str:
-        """Straight-line blocking code for one whole request."""
-        lines = [f"    work {pending.segments[0]}"]
-        for index, work in enumerate(pending.segments[1:], start=1):
-            lines += [
-                "    movi r1, REPLY",
-                "    monitor r1",        # armed before the call: no
-                "    movi r2, REQ",      # lost wakeup on a fast reply
-                f"    movi r3, {index}",
-                "    st r2, 0, r3",      # issue the remote call
-                "    mwait",             # simple blocking semantics
-                f"    work {work}",
-            ]
-        lines += [
-            "    movi r4, DONE",
-            "    movi r5, 1",
-            "    st r4, 0, r5",
-            "    halt",
-        ]
-        return "\n".join(lines)
-
-    def _segment_asm(self, pending: _Pending) -> str:
-        """One run-to-completion event-loop callback."""
-        return "\n".join([
-            f"    work {pending.segments[pending.next_segment]}",
-            "    movi r1, DONE",
-            "    movi r2, 1",
-            "    st r1, 0, r2",
-            "    halt",
-        ])
 
     # ------------------------------------------------------------------
     def _make_peer(self, slot: _Slot):

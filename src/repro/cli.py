@@ -6,7 +6,7 @@ Subcommands:
 - ``run E03 [--quick] [--trace out.json] [--metrics out.json]`` -- one
   experiment, optionally with a Perfetto trace and a metrics snapshot;
 - ``evaluate [--quick] [--markdown] [--metrics DIR] [--spans DIR]`` --
-  the full E01-E17 evaluation, optionally writing one metrics snapshot
+  the full E01-E18 evaluation, optionally writing one metrics snapshot
   per experiment and the traced experiments' span-tree artifacts;
 - ``cluster [--nodes N] [--design D] [--policy P] [--fanout F]`` -- one
   multi-machine cluster run (see :mod:`repro.cluster`) with its summary

@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E01-E17.
+"""The evaluation harness: experiments E01-E18.
 
 The paper is a HotOS vision paper with one table (the example TDT) and
 no measured figures; its evaluation surface is the set of quantitative
@@ -43,6 +43,7 @@ from repro.experiments import (  # noqa: E402  (registration imports)
     e15_backend_agreement,
     e16_tail_anatomy,
     e17_coherence,
+    e18_dispatch,
 )
 
 __all__ = [

@@ -26,7 +26,8 @@ class Chip:
                  rf_bytes: int = 64 * 1024,
                  issue_policy_factory=None,
                  tracer: Optional[Any] = None,
-                 fast_forward: bool = True):
+                 fast_forward: bool = True,
+                 predecode: bool = True):
         if cores < 1:
             raise ConfigError(f"chip needs at least one core, got {cores}")
         self.engine = engine
@@ -41,7 +42,7 @@ class Chip:
                 engine, memory, core_id=core_id, num_ptids=num_ptids,
                 smt_width=smt_width, costs=self.costs, issue_policy=policy,
                 storage=storage, security_model=security_model, tracer=tracer,
-                fast_forward=fast_forward))
+                fast_forward=fast_forward, predecode=predecode))
 
     def core(self, core_id: int) -> HWCore:
         if not 0 <= core_id < len(self.cores):
@@ -78,6 +79,10 @@ class Chip:
             raise ConfigError(
                 f"migration target ptid {to_ptid} must be disabled")
         dest.program = source.program
+        dest._fused = None
+        dest._decoded = source.program.decoded(type(dest_core)._DISPATCH) \
+            if (source.program is not None
+                and dest_core.predecode_enabled) else None
         dest.finished = source.finished
         dest.priority = source.priority
         dest.arch.load_snapshot(source.arch.snapshot())

@@ -57,7 +57,8 @@ class HWCore:
                  storage: Optional[ThreadStateStore] = None,
                  security_model: str = "tdt",
                  tracer: Optional[Any] = None,
-                 fast_forward: bool = True):
+                 fast_forward: bool = True,
+                 predecode: bool = True):
         if num_ptids < 1:
             raise ConfigError(f"core needs at least one ptid, got {num_ptids}")
         if smt_width < 1:
@@ -95,6 +96,18 @@ class HWCore:
             bool(fast_forward)
             and os.environ.get("REPRO_NO_FASTFORWARD", "") not in ("1", "true", "yes")
         )
+        # REPRO_NO_PREDECODE=1 forces the naive interpreter everywhere
+        # (the reference mode the decode-identity gates diff against).
+        # An enabled tracer also falls back to naive interpretation:
+        # the decoded fast path skips the per-instruction trace emit.
+        self.predecode_enabled = (
+            bool(predecode)
+            and os.environ.get("REPRO_NO_PREDECODE", "") not in ("1", "true", "yes")
+            and not getattr(tracer, "enabled", False)
+        )
+        #: ptid-ordered runnable threads, rebuilt lazily after any state
+        #: transition (see HardwareThread._note_transition)
+        self._runnable_cache: Optional[List[HardwareThread]] = None
         self.halted = False
         self.halt_reason: Optional[str] = None
         self._wake = Signal(f"core{core_id}-wake")
@@ -125,6 +138,9 @@ class HWCore:
         thread.program = program
         thread.finished = False
         thread.arch.pc = pc
+        thread._fused = None
+        thread._decoded = program.decoded(HWCore._DISPATCH) \
+            if self.predecode_enabled else None
         if supervisor is not None:
             thread.arch.priv = 1 if supervisor else 0
         if edp is not None:
@@ -160,9 +176,11 @@ class HWCore:
 
     def api_stop(self, ptid: int) -> None:
         thread = self.thread(ptid)
+        self._materialize_fused(thread)
         thread.monitor.cancel()
         thread.make_disabled()
         thread.stops += 1
+        self._note_forget(thread)
         # a stop shrinks the issueable pool: interrupt any in-flight
         # fast-forward batch so the loop re-plans against the new set
         self._wake.fire()
@@ -216,20 +234,32 @@ class HWCore:
         engine = self.engine
         threads = self.threads
         RUNNABLE = PtidState.RUNNABLE
+        # per-core constants and bound methods, hoisted out of the
+        # per-round body (this loop resumes once per simulated cycle)
+        ff_enabled = self.fast_forward_enabled
+        width = self.smt_width
+        select = self.issue_policy.select
+        issue_one = self._issue_one
+        wake = self._wake
         while not self.halted:
-            runnable = [t for t in threads if t.state is RUNNABLE]
+            # ptid-ordered by construction (threads is ptid-ordered);
+            # any state transition clears the cache
+            runnable = self._runnable_cache
+            if runnable is None:
+                runnable = [t for t in threads if t.state is RUNNABLE]
+                self._runnable_cache = runnable
             if not runnable:
                 idle_from = engine.now
-                yield self._wake
+                yield wake
                 self.idle_cycles += engine.now - idle_from
                 continue
-            now = engine.now
+            now = engine._now
             issueable = [t for t in runnable if t.busy_until <= now]
             if not issueable:
                 next_free = min(t.busy_until for t in runnable)
                 yield next_free - now
                 continue
-            if self.fast_forward_enabled:
+            if ff_enabled:
                 plan = self._plan_fast_forward(runnable, issueable, now)
                 if plan is not None:
                     cycles, lazy, contended = plan
@@ -241,17 +271,29 @@ class HWCore:
                     # interruptible batch: a step event (another core's
                     # resume) falls inside the window, so park until the
                     # timeout or a wake and account whatever elapsed
-                    yield AnyOf((cycles, self._wake))
+                    yield AnyOf((cycles, wake))
                     elapsed = engine.now - now
                     if elapsed:
                         self._apply_fast_forward(
                             issueable, elapsed, contended, now)
                     continue
-            picked = self.issue_policy.select(issueable, self.smt_width)
+            picked = select(issueable, width)
             self.issue_rounds += 1
             for thread in picked:
-                self._issue_one(thread)
-            yield 1
+                issue_one(thread)
+            # merged stall: when every still-runnable thread is busy past
+            # now+1, resuming at now+1 would only rediscover the stall
+            # and park again until the earliest busy_until -- skip the
+            # intermediate resume and sleep there directly. (State
+            # changes from outside land at their own simulation times
+            # either way; the skipped resume had no side effects.)
+            runnable = self._runnable_cache
+            if runnable:
+                next_free = min(t.busy_until for t in runnable)
+                delta = next_free - now
+                yield delta if delta > 1 else 1
+            else:
+                yield 1
 
     def _run_instrumented(self):
         # Mirror of _run_plain with profiler attribution: a pend() is
@@ -264,7 +306,10 @@ class HWCore:
         RUNNABLE = PtidState.RUNNABLE
         WAITING = PtidState.WAITING
         while not self.halted:
-            runnable = [t for t in threads if t.state is RUNNABLE]
+            runnable = self._runnable_cache
+            if runnable is None:
+                runnable = [t for t in threads if t.state is RUNNABLE]
+                self._runnable_cache = runnable
             if not runnable:
                 idle_from = engine.now
                 # a wait with parked threads is the paper's mwait block;
@@ -461,13 +506,39 @@ class HWCore:
         return rounds
 
     def _issue_one(self, thread: HardwareThread) -> None:
-        cost = 0
         if thread.work_remaining > 0:
             # mid-`work`: burn one issue-slot cycle (true processor
             # sharing -- two work-heavy threads on one slot take 2x)
             thread.work_remaining -= 1
             thread.busy_until = self.engine.now + 1
             thread.cycles_busy += 1
+            self.storage.touch(thread.ptid)
+            return
+        decoded = thread._decoded
+        if decoded is not None:
+            # pre-decoded dispatch (repro.isa.decode): no fetch/raise,
+            # no dict probe, no isinstance, no per-issue f-string. The
+            # sentinel slot at pc == len (and the bounds check for wild
+            # jumps) reproduces the implicit halt.
+            pc = thread.arch.pc
+            handler = decoded.handlers[pc] if 0 <= pc < decoded.size \
+                else None
+            if handler is None:
+                self._halt_thread(thread)
+                return
+            now = self.engine.now
+            try:
+                cost = handler(self, thread)
+            except GuestFault as fault:
+                self._raise_exception(
+                    thread, ExceptionKind.from_guest_fault_kind(fault.kind),
+                    address=fault.faulting_address)
+                cost = handler.latency
+            thread.busy_until = now + cost
+            thread.last_issue_time = now
+            thread.instructions_executed += 1
+            thread.cycles_busy += cost
+            self.instructions_retired += 1
             self.storage.touch(thread.ptid)
             return
         if thread.program is None:
@@ -480,17 +551,17 @@ class HWCore:
             self._halt_thread(thread)
             return
         thread.arch.pc += 1
-        cost += self._execute(thread, instruction)
-        cost = max(cost, 1)
+        cost = max(self._execute(thread, instruction), 1)
         thread.busy_until = self.engine.now + cost
         thread.last_issue_time = self.engine.now
         thread.instructions_executed += 1
         thread.cycles_busy += cost
         self.instructions_retired += 1
         self.storage.touch(thread.ptid)
-        if self.tracer is not None:
-            self.tracer.emit("issue", f"core{self.core_id} ptid{thread.ptid}"
-                             f" {instruction}", cost=cost)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("issue", f"core{self.core_id} ptid{thread.ptid}"
+                        f" {instruction}", cost=cost)
 
     # ==================================================================
     # instruction semantics
@@ -591,7 +662,7 @@ class HWCore:
     def _op_st(self, thread, ops):
         addr = self._reg(thread, ops[0]) + ops[1].value
         self.memory.store(addr, self._reg(thread, ops[2]),
-                          source=f"cpu:core{self.core_id}.ptid{thread.ptid}")
+                          source=thread.mem_source)
         coherence = self.memory.watch_bus.coherence
         if coherence is not None:
             # writer-side directory charge: invalidating the sharers of
@@ -602,8 +673,7 @@ class HWCore:
     def _op_faa(self, thread, ops):
         addr = self._reg(thread, ops[1])
         new = self.memory.fetch_add(
-            addr, ops[2].value,
-            source=f"cpu:core{self.core_id}.ptid{thread.ptid}")
+            addr, ops[2].value, source=thread.mem_source)
         thread.arch.write(ops[0].name, new)
         coherence = self.memory.watch_bus.coherence
         if coherence is not None:
@@ -648,13 +718,17 @@ class HWCore:
     # --- modeling pseudo-ops ---------------------------------------------
     def _op_work(self, thread, ops):
         # the first cycle issues now; the remainder occupy the thread's
-        # issue slot on subsequent rounds (see _issue_one)
+        # issue slot on subsequent rounds (see _issue_one). Re-arming
+        # work_remaining retires any stale fused-run undo record: from
+        # here on a positive count means `work`, not a fused run.
         thread.work_remaining = max(ops[0].value - 1, 0)
+        thread._fused = None
         return 0
 
     def _op_fwork(self, thread, ops):
         thread.arch.vector_dirty = True
         thread.work_remaining = max(ops[0].value - 1, 0)
+        thread._fused = None
         return 0
 
     def _op_vmovi(self, thread, ops):
@@ -693,11 +767,13 @@ class HWCore:
 
     def _op_stop(self, thread, ops):
         target, extra = self._authorize(thread, ops[0], Permission.STOP)
+        self._materialize_fused(target)
         # stopping a waiting ptid retires its directory sharer entries
         # (0 on the flat bus)
         disarm = target.monitor.cancel()
         target.make_disabled()
         target.stops += 1
+        self._note_forget(target)
         return extra + self.costs.hw_stop_cycles + disarm
 
     def _op_rpull(self, thread, ops):
@@ -846,6 +922,7 @@ class HWCore:
         descriptor.write(self.memory, edp)
         thread.monitor.cancel()
         thread.make_disabled()
+        self._note_forget(thread)
         if self.tracer is not None:
             self.tracer.emit("exception", f"ptid{thread.ptid} {kind.name}",
                              pc=faulting_pc, address=address)
@@ -857,6 +934,9 @@ class HWCore:
         self.halted = True
         self.halt_reason = (f"triple fault: ptid {thread.ptid} raised "
                             f"{kind.name} with no exception handler (edp=0)")
+        # freeze every thread at the state naive stepping would show
+        for other in self.threads:
+            self._materialize_fused(other)
         thread.make_disabled()
         self._wake.fire()
 
@@ -864,11 +944,50 @@ class HWCore:
         thread.finished = True
         thread.monitor.cancel()
         thread.make_disabled()
+        self._note_forget(thread)
+
+    def _materialize_fused(self, thread: HardwareThread) -> None:
+        """Rewind an interrupted fused superinstruction (cold path).
+
+        A fused run executes all its register effects on the first pick
+        and burns the remaining cycles through ``work_remaining``; an
+        external stop (or a core halt) can land mid-burn, where naive
+        stepping would only have executed a prefix. Restore the undo
+        snapshot, replay the completed prefix, park the pc on the first
+        unexecuted instruction, and roll back the pre-credited
+        retirement counters -- after this the thread is byte-identical
+        to its naive twin.
+        """
+        fused = thread._fused
+        if fused is None:
+            return
+        thread._fused = None
+        if thread.work_remaining <= 0:
+            return   # the run had already completed; record was stale
+        completed = fused.length - thread.work_remaining
+        gprs = thread.arch.gprs
+        for index, value in fused.undo:
+            gprs[index] = value
+        for effect in fused.effects[:completed]:
+            effect(gprs)
+        thread.arch.pc = fused.start_pc + completed
+        rollback = fused.length - completed
+        thread.instructions_executed -= rollback
+        self.instructions_retired -= rollback
+        thread.work_remaining = 0
 
     def _note_enqueue(self, thread: HardwareThread) -> None:
         note = getattr(self.issue_policy, "note_enqueue", None)
         if note is not None:
             note(thread)
+
+    def _note_forget(self, thread: HardwareThread) -> None:
+        # only policies that opt in (the WRR arbiter) see retirements;
+        # calling PriorityWeightedIssue.forget here would erase the
+        # virtual-time debt its re-entry clamp depends on
+        policy = self.issue_policy
+        if getattr(policy, "wants_forget", False):
+            policy.forget(thread.ptid)
 
     def _idle_ptids(self) -> List[int]:
         """Contexts safe to demote from the register file."""

@@ -14,9 +14,38 @@ credit counters) but see only ptids, never programs.
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, List
 
 from repro.hw.ptid import HardwareThread
+
+_by_ptid = operator.attrgetter("ptid")
+
+
+class _OrderCache:
+    """Memoized ptid-ordering of the issueable pool.
+
+    The core rebuilds ``issueable`` every round, but its membership (and
+    order -- the core iterates threads in ptid order) is stable for long
+    stretches, so policies were paying an O(n log n) sort per round for
+    an order that almost never changed. The cache keeps the last ordered
+    pool and revalidates with a single list equality check (elementwise
+    identity, O(n), no allocation); only a genuine membership change
+    re-sorts. Epoch counters cannot replace the check: a thread rejoins
+    the issueable pool by ``busy_until`` expiry, which no event marks.
+    """
+
+    __slots__ = ("_ordered",)
+
+    def __init__(self) -> None:
+        self._ordered: List[HardwareThread] = []
+
+    def ordered(self, issueable: List[HardwareThread]) -> List[HardwareThread]:
+        ordered = self._ordered
+        if issueable != ordered:
+            ordered = sorted(issueable, key=_by_ptid)
+            self._ordered = ordered
+        return ordered
 
 
 class RoundRobinIssue:
@@ -43,6 +72,7 @@ class RoundRobinIssue:
 
     def __init__(self) -> None:
         self._next = 0
+        self._order = _OrderCache()
 
     def note_enqueue(self, thread: HardwareThread) -> None:
         """A ptid became runnable (wakeup/start). RR has no state to fix."""
@@ -50,8 +80,14 @@ class RoundRobinIssue:
     def select(self, issueable: List[HardwareThread], width: int) -> List[HardwareThread]:
         if not issueable:
             return []
-        ordered = sorted(issueable, key=lambda t: t.ptid)
-        n = len(ordered)
+        n = len(issueable)
+        if n == 1:
+            # the dominant case on lightly loaded cores; the general
+            # arithmetic below reduces to picking the one thread and
+            # parking the pointer at 0 ((start + 1) % 1)
+            self._next = 0
+            return [issueable[0]]
+        ordered = self._order.ordered(issueable)
         start = self._next % n
         picked = [ordered[(start + i) % n] for i in range(min(width, n))]
         self._next = (start + len(picked)) % n
@@ -153,3 +189,138 @@ class PriorityWeightedIssue:
     def forget(self, ptid: int) -> None:
         """Drop bookkeeping for a retired ptid."""
         self._vtime.pop(ptid, None)
+
+
+class WeightedRoundRobinIssue:
+    """Credit-based weighted round-robin: sort-free hardware arbitration.
+
+    The hardware-faithful counterpart of :class:`PriorityWeightedIssue`:
+    where WFQ re-sorts the pool by float virtual times every round, this
+    arbiter walks a ptid-ordered ring with a rotation pointer and an
+    integer *credit* (deficit) counter per thread -- exactly the
+    register-and-comparator structure an SMT pick stage can implement.
+    Each pick consumes one credit; when no unpicked thread holds credit
+    the arbiter refills every pooled thread by its weight (the thread's
+    ``priority``) and keeps walking. Over any refill period a backlogged
+    thread therefore issues exactly ``priority`` picks per frame of
+    ``sum(priorities)``: steady-state shares are proportional to weight
+    (experiment E18 measures this), and no thread starves -- every frame
+    serves everyone at least once.
+
+    A pool of uniform weights bypasses the credit walk and runs RR's
+    pointer arithmetic directly, so the pick stream is *identical* to
+    :class:`RoundRobinIssue` -- even as threads join and leave -- with
+    credits left untouched (E18's second claim; the hypothesis suite
+    diffs the streams under churn).
+    Re-entry: :meth:`note_enqueue` grants a joining thread a fresh
+    weight of credit, matching RR's memorylessness; :meth:`forget`
+    (called by the core for disabled ptids -- ``wants_forget``) drops
+    its counter.
+
+    Fast-forward contracts: uncontended selects pick the whole pool in
+    rotation order without touching credits (no contention means no
+    fairness accounting), so ``full_pick_uncontended`` holds and
+    :meth:`advance_rounds` is a no-op replay, exactly like RR.
+    Contended batching is declined (``rotation_invariant = False``):
+    with unequal weights the pick pattern is not rotation-periodic, so
+    the planner honestly falls back to per-round stepping there.
+    """
+
+    name = "weighted-round-robin"
+    rotation_invariant = False
+    full_pick_uncontended = True
+    #: opt-in: the core calls :meth:`forget` when a ptid is disabled
+    wants_forget = True
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._credit: Dict[int, int] = {}
+        self._order = _OrderCache()
+
+    @staticmethod
+    def _weight(thread: HardwareThread) -> int:
+        return thread.priority if thread.priority > 1 else 1
+
+    def note_enqueue(self, thread: HardwareThread) -> None:
+        """A (re)joining ptid gets a fresh frame's worth of credit."""
+        self._credit[thread.ptid] = self._weight(thread)
+
+    def forget(self, ptid: int) -> None:
+        """Drop the credit counter of a disabled/retired ptid."""
+        self._credit.pop(ptid, None)
+
+    def select(self, issueable: List[HardwareThread], width: int) -> List[HardwareThread]:
+        if not issueable:
+            return []
+        ordered = self._order.ordered(issueable)
+        n = len(ordered)
+        start = self._next % n
+        if n <= width:
+            # uncontended: everyone issues; weights (and credits) are
+            # irrelevant when there is nothing to arbitrate. The pick
+            # order rotates like RR; the pointer advances by n = 0 mod n,
+            # stored normalized (exactly as RR's arithmetic leaves it, so
+            # the streams stay identical when the pool later grows)
+            self._next = start
+            return [ordered[(start + i) % n] for i in range(n)]
+        first_weight = self._weight(ordered[0])
+        if all(self._weight(t) == first_weight for t in ordered):
+            # uniform weights: there is nothing to weight, so the credit
+            # machinery is bypassed entirely and the arbiter IS plain RR
+            # (same pointer arithmetic, credits untouched). Credits
+            # carry cross-round memory RR does not have -- a thread that
+            # spent its credit just before the pool changed would be
+            # skipped where RR would pick it -- so pick-for-pick
+            # equality under churn requires the bypass, not just a
+            # never-skipping walk (the hypothesis suite pins this).
+            picked = [ordered[(start + i) % n] for i in range(width)]
+            self._next = (start + width) % n
+            return picked
+        credit = self._credit
+        picked: List[HardwareThread] = []
+        picked_ids = set()
+        position = start
+        scanned = 0
+        while len(picked) < width:
+            thread = ordered[position]
+            ptid = thread.ptid
+            if ptid not in picked_ids:
+                remaining = credit.get(ptid)
+                if remaining is None:
+                    remaining = self._weight(thread)
+                if remaining > 0:
+                    credit[ptid] = remaining - 1
+                    picked.append(thread)
+                    picked_ids.add(ptid)
+                    position = (position + 1) % n
+                    scanned = 0
+                    continue
+            position = (position + 1) % n
+            scanned += 1
+            if scanned >= n:
+                # frame boundary: no unpicked thread holds credit.
+                # Refill everyone by their weight (deficit carry-over:
+                # += keeps long-run shares exact under partial frames).
+                for other in ordered:
+                    credit[other.ptid] = \
+                        credit.get(other.ptid, 0) + self._weight(other)
+                scanned = 0
+        self._next = position
+        return picked
+
+    def advance_rounds(self, picked: List[HardwareThread],
+                       rounds: int) -> List[HardwareThread]:
+        """Replay ``rounds`` uncontended rounds (see RoundRobinIssue).
+
+        Uncontended selects leave both the pointer and the credit map
+        untouched, so the replay is stateless and the last round's pick
+        order is ``picked`` itself.
+        """
+        return picked
+
+    def fill_metrics(self, registry, prefix: str) -> None:
+        """Snapshot-time harvest (nothing is recorded on the hot path)."""
+        registry.set(f"{prefix}.rotation_next", self._next)
+        registry.set(f"{prefix}.tracked_threads", len(self._credit))
+        registry.set(f"{prefix}.credit_outstanding",
+                     sum(self._credit.values()))

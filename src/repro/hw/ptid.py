@@ -46,6 +46,13 @@ class HardwareThread:
         self.busy_until: int = 0      # also delays first issue after a start
         self.work_remaining: int = 0  # cycles left of a `work` instruction
         self.last_issue_time: int = 0
+        # pre-decoded execution (repro.isa.decode): the program's
+        # handler chain (None -> naive interpretation) and the undo
+        # record of an in-flight fused superinstruction
+        self._decoded = None
+        self._fused = None
+        #: identity string stamped on this thread's memory traffic
+        self.mem_source = f"cpu:core{getattr(core, 'core_id', 0)}.ptid{ptid}"
         # statistics
         self.instructions_executed = 0
         self.cycles_busy = 0
@@ -83,9 +90,14 @@ class HardwareThread:
 
     def _note_transition(self, state: ThreadState) -> None:
         core = self.core
-        if core is not None and core.timeline is not None:
-            core.timeline.transition(core.core_id, self.ptid, state,
-                                     core.engine.now)
+        if core is not None:
+            # these three methods are the only writers of `state`, so
+            # this is also where the core's cached runnable list (an
+            # issue-loop fast path) gets invalidated
+            core._runnable_cache = None
+            if core.timeline is not None:
+                core.timeline.transition(core.core_id, self.ptid, state,
+                                         core.engine.now)
 
     # ------------------------------------------------------------------
     @property

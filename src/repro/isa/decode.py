@@ -1,0 +1,571 @@
+"""Pre-decoded handler chains: the interpreter with decode hoisted out.
+
+The naive interpreter in :mod:`repro.hw.core` re-decodes every
+instruction on every issue: a ``_DISPATCH`` dict probe, per-operand
+``isinstance`` checks, register access by string name, and runtime
+label resolution. None of that depends on anything but the program
+text, so this module does it once: each :class:`Instruction` is
+compiled into a closure ``handler(core, thread) -> cost`` with
+
+- register operands resolved to GPR list indices (read/written
+  directly, bypassing ``ArchState.read``/``write`` string dispatch),
+- ``Label`` branch targets resolved to instruction indices,
+- the constant base latency folded into the returned cost, and
+- the fall-through pc captured as a constant (``pc`` is assigned
+  exactly once per instruction, mirroring the naive pre-advance).
+
+Straight-line runs of single-cycle, pure-GPR ALU instructions are
+additionally *fused* into superinstructions: the first pick executes
+the whole run's register effects eagerly and converts the remaining
+``k-1`` instructions into ``work``-style burn cycles, so the core
+issues (and the event engine schedules) once per run instead of once
+per instruction while the cycle-for-cycle issue pattern other threads
+observe stays identical. An undo log makes the fusion invisible to
+external observers: if the thread is stopped or the core halts
+mid-run, :meth:`repro.hw.core.HWCore._materialize_fused` rewinds to
+the exact architectural state naive stepping would show.
+
+Cost contract (mirrors ``HWCore._execute`` + ``_issue_one``): every
+handler returns the *total* cost (base latency plus any dynamic
+extra), always >= 1; a handler that raises :class:`GuestFault` is
+charged its ``latency`` attribute (the base latency) by the
+dispatcher, exactly like the naive path. Handlers assign
+``thread.arch.pc`` before any faulting access so the exception
+descriptor's ``faulting_pc = pc - 1`` arithmetic is unchanged.
+
+The decoded table has ``len(program) + 1`` slots; the extra slot holds
+``None``, the HALT sentinel: running off the end of the program (the
+implicit halt that :meth:`Program.fetch` signals with an ``IsaError``)
+becomes a plain ``is None`` check, so the hot loop never raises. Wild
+jumps outside ``[0, len]`` are bounds-checked by the dispatcher and
+halt identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.arch.registers import GPR_COUNT
+from repro.errors import IsaError
+from repro.isa.instructions import Imm, Instruction, Label, OPS, Reg
+
+Handler = Callable[..., int]
+
+
+class DecodedProgram:
+    """A program compiled to a handler chain (one closure per pc)."""
+
+    __slots__ = ("handlers", "size")
+
+    def __init__(self, handlers: List[Optional[Handler]]):
+        self.handlers = handlers
+        #: valid pc range is [0, size); handlers[len] is the HALT sentinel
+        self.size = len(handlers)
+
+
+class FusedRun:
+    """Undo record for an in-flight superinstruction (see module doc)."""
+
+    __slots__ = ("start_pc", "length", "undo", "effects")
+
+    def __init__(self, start_pc: int, length: int, undo, effects):
+        self.start_pc = start_pc
+        self.length = length
+        self.undo = undo          # [(gpr_index, value before the run)]
+        self.effects = effects    # per-instruction register effects
+
+
+# ----------------------------------------------------------------------
+# operand helpers
+# ----------------------------------------------------------------------
+def _gpr(operand) -> Optional[int]:
+    """GPR slot index for a plain ``rN`` register operand, else None."""
+    if not isinstance(operand, Reg):
+        return None
+    name = operand.name
+    if name[0] == "r" and name[1:].isdigit():
+        index = int(name[1:])
+        if 0 <= index < GPR_COUNT:
+            return index
+    return None
+
+
+def _resolve_target(operand, program) -> Optional[int]:
+    """Branch target as an instruction index, or None if undefined.
+
+    Undefined labels keep the naive behavior (an ``IsaError`` raised at
+    execution time, not at decode time): a dangling branch that never
+    executes must not break loading.
+    """
+    if isinstance(operand, Label):
+        if operand.name in program.labels:
+            return program.labels[operand.name]
+        return None
+    return operand.value
+
+
+# ----------------------------------------------------------------------
+# per-op handler builders. Each returns handler(core, thread) -> cost.
+# ----------------------------------------------------------------------
+def _generic(op: str, operands, next_pc: int, latency: int,
+             method) -> Handler:
+    """Fallback: delegate to the naive ``_op_*`` semantics.
+
+    Used for the cold thread-management/CSR tail and for any operand
+    shape the fast builders do not special-case (e.g. ``movi pc, 5`` --
+    the assembler accepts special registers wherever ``R`` is legal).
+    The per-instruction constants (bound method, operand tuple, base
+    latency, next pc) are still resolved once.
+    """
+    def run(core, thread):
+        thread.arch.pc = next_pc
+        extra = method(core, thread, operands)
+        return latency + (extra or 0)
+    run.latency = latency
+    return run
+
+
+def _make_alu(instruction: Instruction, next_pc: int) -> Optional[Handler]:
+    """Fast single-instruction handler for a pure-GPR ALU op, or None."""
+    effect = _alu_effect(instruction)
+    if effect is None:
+        return None
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = next_pc
+        effect(arch.gprs)
+        return 1
+    run.latency = 1
+    return run
+
+
+#: single-cycle ALU ops eligible for fast handlers and fusion
+FUSABLE_OPS = frozenset(
+    ["nop", "movi", "mov", "add", "addi", "sub",
+     "and_", "or_", "xor", "shl", "shr"])
+
+
+def _alu_effect(instruction: Instruction):
+    """Compile a fusable ALU op to ``effect(gprs)``; None if ineligible.
+
+    Eligible ops are single-cycle, cannot fault, touch only plain GPR
+    slots (no pc/flags/control/vector operands, which need
+    ``ArchState.write`` side effects), and have no work/monitor
+    semantics -- exactly the ops whose whole behavior is a pure
+    function of the GPR file.
+    """
+    op = instruction.op
+    if op not in FUSABLE_OPS:
+        return None
+    ops = instruction.operands
+    if op == "nop":
+        def effect(gprs):
+            return None
+        effect.dest = None
+        return effect
+    rd = _gpr(ops[0])
+    if rd is None:
+        return None
+    if op == "movi":
+        imm = ops[1].value
+
+        def effect(gprs):
+            gprs[rd] = imm
+    elif op == "mov":
+        rs = _gpr(ops[1])
+        if rs is None:
+            return None
+
+        def effect(gprs):
+            gprs[rd] = gprs[rs]
+    elif op in ("addi", "shl", "shr"):
+        rs = _gpr(ops[1])
+        if rs is None:
+            return None
+        imm = ops[2].value
+        if op == "addi":
+            def effect(gprs):
+                gprs[rd] = gprs[rs] + imm
+        elif op == "shl":
+            def effect(gprs):
+                gprs[rd] = gprs[rs] << imm
+        else:
+            def effect(gprs):
+                gprs[rd] = gprs[rs] >> imm
+    else:  # add, sub, and_, or_, xor
+        rs = _gpr(ops[1])
+        rt = _gpr(ops[2])
+        if rs is None or rt is None:
+            return None
+        if op == "add":
+            def effect(gprs):
+                gprs[rd] = gprs[rs] + gprs[rt]
+        elif op == "sub":
+            def effect(gprs):
+                gprs[rd] = gprs[rs] - gprs[rt]
+        elif op == "and_":
+            def effect(gprs):
+                gprs[rd] = gprs[rs] & gprs[rt]
+        elif op == "or_":
+            def effect(gprs):
+                gprs[rd] = gprs[rs] | gprs[rt]
+        else:
+            def effect(gprs):
+                gprs[rd] = gprs[rs] ^ gprs[rt]
+    effect.dest = rd
+    return effect
+
+
+def _make_fused(effects, start_pc: int, length: int) -> Handler:
+    """Superinstruction: run ``length`` fused ALU ops in one pick.
+
+    All register effects apply eagerly (with an undo snapshot of the
+    distinct destination slots); the remaining ``length - 1``
+    instructions become burn cycles through the existing
+    ``work_remaining`` machinery, so the thread occupies its issue slot
+    for exactly one cycle per fused instruction and the pick stream
+    other threads see is cycle-identical to naive stepping. Retirement
+    counters are credited up front and rolled back by
+    ``_materialize_fused`` if the run is interrupted.
+    """
+    end_pc = start_pc + length
+    dests = tuple(sorted({e.dest for e in effects if e.dest is not None}))
+    extra = length - 1
+
+    def run(core, thread):
+        arch = thread.arch
+        gprs = arch.gprs
+        undo = [(d, gprs[d]) for d in dests]
+        for effect in effects:
+            effect(gprs)
+        arch.pc = end_pc
+        thread.work_remaining = extra
+        thread._fused = FusedRun(start_pc, length, undo, effects)
+        thread.instructions_executed += extra
+        core.instructions_retired += extra
+        return 1
+    run.latency = 1
+    return run
+
+
+def _make_div(instruction: Instruction, next_pc: int) -> Optional[Handler]:
+    rd = _gpr(instruction.operands[0])
+    rs = _gpr(instruction.operands[1])
+    rt = _gpr(instruction.operands[2])
+    if rd is None or rs is None or rt is None:
+        return None
+    from repro.hw.exceptions import ExceptionKind
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = next_pc
+        gprs = arch.gprs
+        if gprs[rt] == 0:
+            core._raise_exception(thread, ExceptionKind.DIV_ZERO)
+            return 12
+        gprs[rd] = gprs[rs] // gprs[rt]
+        return 12
+    run.latency = 12
+    return run
+
+
+def _make_mul(instruction: Instruction, next_pc: int) -> Optional[Handler]:
+    rd = _gpr(instruction.operands[0])
+    rs = _gpr(instruction.operands[1])
+    rt = _gpr(instruction.operands[2])
+    if rd is None or rs is None or rt is None:
+        return None
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = next_pc
+        gprs = arch.gprs
+        gprs[rd] = gprs[rs] * gprs[rt]
+        return 3
+    run.latency = 3
+    return run
+
+
+def _make_ld(instruction: Instruction, next_pc: int) -> Optional[Handler]:
+    rd = _gpr(instruction.operands[0])
+    rs = _gpr(instruction.operands[1])
+    if rd is None or rs is None:
+        return None
+    offset = instruction.operands[2].value
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = next_pc
+        gprs = arch.gprs
+        gprs[rd] = core.memory.load(gprs[rs] + offset)
+        return 2 + core.costs.l1_hit_cycles
+    run.latency = 2
+    return run
+
+
+def _make_st(instruction: Instruction, next_pc: int) -> Optional[Handler]:
+    rs = _gpr(instruction.operands[0])
+    rt = _gpr(instruction.operands[2])
+    if rs is None or rt is None:
+        return None
+    offset = instruction.operands[1].value
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = next_pc
+        gprs = arch.gprs
+        memory = core.memory
+        memory.store(gprs[rs] + offset, gprs[rt], source=thread.mem_source)
+        coherence = memory.watch_bus.coherence
+        if coherence is not None:
+            return 2 + core.costs.l1_hit_cycles + coherence.last_write_cycles
+        return 2 + core.costs.l1_hit_cycles
+    run.latency = 2
+    return run
+
+
+def _make_faa(instruction: Instruction, next_pc: int) -> Optional[Handler]:
+    rd = _gpr(instruction.operands[0])
+    rs = _gpr(instruction.operands[1])
+    if rd is None or rs is None:
+        return None
+    delta = instruction.operands[2].value
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = next_pc
+        gprs = arch.gprs
+        memory = core.memory
+        gprs[rd] = memory.fetch_add(gprs[rs], delta, source=thread.mem_source)
+        coherence = memory.watch_bus.coherence
+        if coherence is not None:
+            return 4 + core.costs.l1_hit_cycles + coherence.last_write_cycles
+        return 4 + core.costs.l1_hit_cycles
+    run.latency = 4
+    return run
+
+
+def _undefined_label(name: str, program_name: str, next_pc: int) -> Handler:
+    """Match the naive runtime error for a dangling label."""
+    def run(core, thread):
+        thread.arch.pc = next_pc
+        raise IsaError(f"undefined label {name!r} in {program_name!r}")
+    run.latency = 1
+    return run
+
+
+def _make_jmp(instruction: Instruction, next_pc: int, program) -> Handler:
+    target = _resolve_target(instruction.operands[0], program)
+    if target is None:
+        return _undefined_label(instruction.operands[0].name,
+                                program.name, next_pc)
+
+    def run(core, thread):
+        thread.arch.pc = target
+        return 1
+    run.latency = 1
+    return run
+
+
+def _make_branch(instruction: Instruction, next_pc: int,
+                 program) -> Optional[Handler]:
+    rs = _gpr(instruction.operands[0])
+    rt = _gpr(instruction.operands[1])
+    if rs is None or rt is None:
+        return None
+    target = _resolve_target(instruction.operands[2], program)
+    if target is None:
+        return _undefined_label(instruction.operands[2].name,
+                                program.name, next_pc)
+    op = instruction.op
+
+    if op == "beq":
+        def run(core, thread):
+            arch = thread.arch
+            gprs = arch.gprs
+            arch.pc = target if gprs[rs] == gprs[rt] else next_pc
+            return 1
+    elif op == "bne":
+        def run(core, thread):
+            arch = thread.arch
+            gprs = arch.gprs
+            arch.pc = target if gprs[rs] != gprs[rt] else next_pc
+            return 1
+    elif op == "blt":
+        def run(core, thread):
+            arch = thread.arch
+            gprs = arch.gprs
+            arch.pc = target if gprs[rs] < gprs[rt] else next_pc
+            return 1
+    else:  # bge
+        def run(core, thread):
+            arch = thread.arch
+            gprs = arch.gprs
+            arch.pc = target if gprs[rs] >= gprs[rt] else next_pc
+            return 1
+    run.latency = 1
+    return run
+
+
+def _make_jal(instruction: Instruction, next_pc: int,
+              program) -> Optional[Handler]:
+    rd = _gpr(instruction.operands[0])
+    if rd is None:
+        return None
+    target = _resolve_target(instruction.operands[1], program)
+    if target is None:
+        return _undefined_label(instruction.operands[1].name,
+                                program.name, next_pc)
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.gprs[rd] = next_pc   # the naive path links the advanced pc
+        arch.pc = target
+        return 1
+    run.latency = 1
+    return run
+
+
+def _make_jr(instruction: Instruction, next_pc: int) -> Optional[Handler]:
+    rs = _gpr(instruction.operands[0])
+    if rs is None:
+        return None
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = arch.gprs[rs]
+        return 1
+    run.latency = 1
+    return run
+
+
+def _make_halt(next_pc: int) -> Handler:
+    def run(core, thread):
+        thread.arch.pc = next_pc
+        core._halt_thread(thread)
+        return 1
+    run.latency = 1
+    return run
+
+
+def _make_work(instruction: Instruction, next_pc: int) -> Handler:
+    remaining = max(instruction.operands[0].value - 1, 0)
+
+    def run(core, thread):
+        thread.arch.pc = next_pc
+        thread.work_remaining = remaining
+        thread._fused = None
+        return 1
+    run.latency = 1
+    return run
+
+
+def _make_monitor(instruction: Instruction,
+                  next_pc: int) -> Optional[Handler]:
+    rs = _gpr(instruction.operands[0])
+    if rs is None:
+        return None
+
+    def run(core, thread):
+        arch = thread.arch
+        arch.pc = next_pc
+        return 2 + thread.monitor.arm(arch.gprs[rs])
+    run.latency = 2
+    return run
+
+
+def _make_mwait(next_pc: int) -> Handler:
+    def run(core, thread):
+        thread.arch.pc = next_pc
+        if thread.monitor.wait():
+            thread.make_waiting()
+        return 1
+    run.latency = 1
+    return run
+
+
+# ----------------------------------------------------------------------
+# the decoder
+# ----------------------------------------------------------------------
+def build_handler(instruction: Instruction, next_pc: int, program,
+                  dispatch: Dict[str, Callable]) -> Handler:
+    """Compile one instruction at index ``next_pc - 1``."""
+    op = instruction.op
+    handler: Optional[Handler] = None
+    if op in FUSABLE_OPS:
+        handler = _make_alu(instruction, next_pc)
+    elif op == "mul":
+        handler = _make_mul(instruction, next_pc)
+    elif op == "div":
+        handler = _make_div(instruction, next_pc)
+    elif op == "ld":
+        handler = _make_ld(instruction, next_pc)
+    elif op == "st":
+        handler = _make_st(instruction, next_pc)
+    elif op == "faa":
+        handler = _make_faa(instruction, next_pc)
+    elif op == "jmp":
+        handler = _make_jmp(instruction, next_pc, program)
+    elif op in ("beq", "bne", "blt", "bge"):
+        handler = _make_branch(instruction, next_pc, program)
+    elif op == "jal":
+        handler = _make_jal(instruction, next_pc, program)
+    elif op == "jr":
+        handler = _make_jr(instruction, next_pc)
+    elif op == "halt":
+        handler = _make_halt(next_pc)
+    elif op == "work":
+        handler = _make_work(instruction, next_pc)
+    elif op == "monitor":
+        handler = _make_monitor(instruction, next_pc)
+    elif op == "mwait":
+        handler = _make_mwait(next_pc)
+    if handler is None:
+        spec = OPS[op]
+        handler = _generic(op, instruction.operands, next_pc,
+                           spec.latency, dispatch[op])
+    return handler
+
+
+def decode_program(program, dispatch: Dict[str, Callable],
+                   no_fuse: Optional[Set[int]] = None) -> DecodedProgram:
+    """Compile ``program`` into a :class:`DecodedProgram`.
+
+    ``dispatch`` is the naive ``_op_*`` table (passed in by the core to
+    avoid an isa -> hw import cycle) backing the generic fallbacks.
+    ``no_fuse`` marks indices excluded from superinstruction fusion
+    (template holes whose handler is rebuilt per instantiation).
+    """
+    instructions = program.instructions
+    count = len(instructions)
+    handlers: List[Optional[Handler]] = [
+        build_handler(instr, index + 1, program, dispatch)
+        for index, instr in enumerate(instructions)
+    ]
+    handlers.append(None)   # the HALT sentinel: pc == len is implicit halt
+
+    # superinstruction fusion: maximal runs (length >= 2) of fusable
+    # ALU ops. The fused handler replaces the run-start slot only;
+    # every interior index keeps its individual handler so dynamic
+    # jumps into the middle of a run execute instruction-at-a-time.
+    blocked = no_fuse or ()
+    index = 0
+    while index < count:
+        effect = None if index in blocked \
+            else _alu_effect(instructions[index])
+        if effect is None:
+            index += 1
+            continue
+        effects = [effect]
+        scan = index + 1
+        while scan < count and scan not in blocked:
+            nxt = _alu_effect(instructions[scan])
+            if nxt is None:
+                break
+            effects.append(nxt)
+            scan += 1
+        if len(effects) >= 2:
+            handlers[index] = _make_fused(effects, index, len(effects))
+        index = scan
+    return DecodedProgram(handlers)

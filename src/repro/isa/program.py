@@ -22,6 +22,12 @@ class Program:
         self.instructions = list(instructions)
         self.labels = dict(labels or {})
         self.name = name
+        #: lazily built handler chain (repro.isa.decode); keyed to the
+        #: program, so every thread running it shares one decode
+        self._decoded_cache = None
+        #: set by AsmTemplate.instantiate: (template, hole indices),
+        #: letting the decode reuse the template's shared handler chain
+        self._decode_hint = None
         for label, target in self.labels.items():
             if not 0 <= target <= len(self.instructions):
                 raise IsaError(
@@ -36,6 +42,25 @@ class Program:
         if not 0 <= pc < len(self.instructions):
             raise IsaError(f"pc {pc} outside program {self.name!r}")
         return self.instructions[pc]
+
+    def decoded(self, dispatch):
+        """The pre-decoded handler chain (built once, then cached).
+
+        ``dispatch`` is the naive interpreter's op table (the core
+        passes ``HWCore._DISPATCH``), backing the generic fallback
+        handlers without an isa -> hw import cycle.
+        """
+        cache = self._decoded_cache
+        if cache is None:
+            hint = self._decode_hint
+            if hint is not None:
+                template, holes = hint
+                cache = template.decode_instance(self, holes, dispatch)
+            else:
+                from repro.isa.decode import decode_program
+                cache = decode_program(self, dispatch)
+            self._decoded_cache = cache
+        return cache
 
     def resolve(self, label: str) -> int:
         target = self.labels.get(label)

@@ -47,7 +47,7 @@ class MachineConfig:
     memory_bytes: int = 1 << 32
     strict_memory: bool = False
     security_model: str = "tdt"
-    issue_policy: str = "rr"  # "rr" | "priority"
+    issue_policy: str = "rr"  # "rr" | "priority" | "wrr"
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0xC0FFEE
     trace: bool = False
@@ -60,6 +60,12 @@ class MachineConfig:
     #: identical either way, only wall-clock differs. The
     #: REPRO_NO_FASTFORWARD env var overrides this to False.
     fast_forward: bool = True
+    #: pre-decoded handler-chain execution (repro.isa.decode); results
+    #: are identical either way, only wall-clock differs. The
+    #: REPRO_NO_PREDECODE env var overrides this to False; an enabled
+    #: tracer also falls back to the naive interpreter (the decoded
+    #: path skips per-instruction trace emits).
+    predecode: bool = True
     #: watch-bus coherence model: None (flat free bus, the seed
     #: behavior), "directory" (MSI directory priced by the CostModel's
     #: dir_* fields), or "null" (directory protocol at zero cost, for
@@ -72,9 +78,9 @@ class MachineConfig:
             raise ConfigError("cores must be >= 1")
         if self.hw_threads_per_core < 1:
             raise ConfigError("hw_threads_per_core must be >= 1")
-        if self.issue_policy not in ("rr", "priority"):
+        if self.issue_policy not in ("rr", "priority", "wrr"):
             raise ConfigError(
-                f"issue_policy must be 'rr' or 'priority', "
+                f"issue_policy must be 'rr', 'priority', or 'wrr', "
                 f"got {self.issue_policy!r}")
         if self.coherence is not None:
             from repro.coherence.directory import MODEL_NAMES
@@ -108,6 +114,9 @@ class Machine:
         if config.issue_policy == "priority":
             from repro.hw.issue import PriorityWeightedIssue
             policy_factory = PriorityWeightedIssue
+        elif config.issue_policy == "wrr":
+            from repro.hw.issue import WeightedRoundRobinIssue
+            policy_factory = WeightedRoundRobinIssue
         else:
             policy_factory = None  # Chip defaults to round-robin
         self.chip = Chip(self.engine, self.memory, cores=config.cores,
@@ -117,7 +126,8 @@ class Machine:
                          rf_bytes=config.rf_bytes,
                          issue_policy_factory=policy_factory,
                          tracer=self.tracer,
-                         fast_forward=config.fast_forward)
+                         fast_forward=config.fast_forward,
+                         predecode=config.predecode)
         self.dma = DmaEngine(self.engine, self.memory)
         # observability: instrument when asked to, or when built inside
         # an active obs session (how the CLI instruments experiments).

@@ -9,7 +9,7 @@ class TestList:
     def test_lists_all_experiments(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 18):
+        for i in range(1, 19):
             assert f"E{i:02d}" in out
 
     def test_anchors_shown(self, capsys):

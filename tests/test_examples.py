@@ -80,4 +80,4 @@ def test_cluster_service():
 @pytest.mark.slow
 def test_run_evaluation_quick():
     out = run_example("run_evaluation.py", "--quick")
-    assert "All 17 experiments support the paper's claims." in out
+    assert "All 18 experiments support the paper's claims." in out

@@ -12,7 +12,7 @@ from repro.experiments.registry import register
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [e.experiment_id for e in all_experiments()]
-        assert ids == [f"E{i:02d}" for i in range(1, 18)]
+        assert ids == [f"E{i:02d}" for i in range(1, 19)]
 
     def test_lookup_by_id(self):
         exp = get_experiment("E05")

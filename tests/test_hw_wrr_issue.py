@@ -1,0 +1,129 @@
+"""Unit tests for the credit-based weighted-round-robin arbiter.
+
+The O(1) hardware-faithful counterpart of the float virtual-time WFQ
+policy: a ptid-ordered ring, a rotation pointer, and one integer credit
+counter per thread. E18 measures its steady-state shares at machine
+level; these tests pin the arbitration mechanics directly.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.issue import RoundRobinIssue, WeightedRoundRobinIssue
+from repro.machine import build_machine
+
+
+class _Thread:
+    __slots__ = ("ptid", "priority")
+
+    def __init__(self, ptid, priority=1):
+        self.ptid = ptid
+        self.priority = priority
+
+
+def _stream(policy, threads, width, rounds):
+    picks = []
+    for _ in range(rounds):
+        picks.extend(t.ptid for t in policy.select(threads, width))
+    return picks
+
+
+class TestCreditWalk:
+    def test_shares_proportional_to_weights(self):
+        threads = [_Thread(0, 4), _Thread(1, 2), _Thread(2, 1)]
+        policy = WeightedRoundRobinIssue()
+        for t in threads:
+            policy.note_enqueue(t)
+        picks = _stream(policy, threads, width=1, rounds=7 * 40)
+        counts = {p: picks.count(p) for p in (0, 1, 2)}
+        # 40 full frames of sum(weights)=7 picks: exactly proportional
+        assert counts == {0: 4 * 40, 1: 2 * 40, 2: 1 * 40}
+
+    def test_every_thread_served_each_frame(self):
+        """No starvation: within any window of sum(weights) picks,
+        every backlogged thread appears at least once."""
+        threads = [_Thread(0, 5), _Thread(1, 1), _Thread(2, 1)]
+        policy = WeightedRoundRobinIssue()
+        for t in threads:
+            policy.note_enqueue(t)
+        picks = _stream(policy, threads, width=1, rounds=7 * 10)
+        frame = sum(t.priority for t in threads)
+        for start in range(0, len(picks) - frame + 1, frame):
+            window = picks[start:start + frame]
+            assert {0, 1, 2} <= set(window)
+
+    def test_uncontended_rotation_touches_no_credits(self):
+        threads = [_Thread(0, 4), _Thread(1, 1)]
+        policy = WeightedRoundRobinIssue()
+        for t in threads:
+            policy.note_enqueue(t)
+        before = dict(policy._credit)
+        picked = policy.select(threads, width=4)
+        assert [t.ptid for t in picked] == [0, 1]
+        assert policy._credit == before       # nothing to arbitrate
+        assert policy.advance_rounds(picked, 10) == picked
+
+    def test_note_enqueue_grants_fresh_frame(self):
+        thread = _Thread(3, 6)
+        policy = WeightedRoundRobinIssue()
+        policy.note_enqueue(thread)
+        assert policy._credit[3] == 6
+
+    def test_forget_drops_counter(self):
+        thread = _Thread(2, 3)
+        policy = WeightedRoundRobinIssue()
+        policy.note_enqueue(thread)
+        policy.forget(2)
+        assert 2 not in policy._credit
+        policy.forget(2)                       # idempotent
+
+    def test_refill_carries_deficit(self):
+        """Partial frames carry over: += (not =) on refill keeps
+        long-run shares exact."""
+        threads = [_Thread(0, 2), _Thread(1, 1)]
+        policy = WeightedRoundRobinIssue()
+        for t in threads:
+            policy.note_enqueue(t)
+        picks = _stream(policy, threads, width=1, rounds=3 * 20)
+        assert picks.count(0) == 2 * picks.count(1)
+
+    def test_matches_rr_at_uniform_weights(self):
+        threads = [_Thread(p) for p in range(5)]
+        rr, wrr = RoundRobinIssue(), WeightedRoundRobinIssue()
+        for t in threads:
+            rr.note_enqueue(t)
+            wrr.note_enqueue(t)
+        for width in (1, 2, 3):
+            assert (_stream(rr, threads, width, 30)
+                    == _stream(wrr, threads, width, 30))
+
+    def test_fastforward_contract_flags(self):
+        policy = WeightedRoundRobinIssue()
+        assert policy.full_pick_uncontended      # lazy uncontended ok
+        assert not policy.rotation_invariant     # contended batch: no
+        assert policy.wants_forget
+
+
+class TestMachineIntegration:
+    def test_wrr_policy_config(self):
+        machine = build_machine(issue_policy="wrr")
+        assert machine.core(0).issue_policy.name == "weighted-round-robin"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            build_machine(issue_policy="lottery")
+
+    def test_weighted_progress_under_contention(self):
+        """Two always-issueable counting loops, smt_width 1: the
+        priority-4 thread retires ~4x the instructions of priority-1."""
+        machine = build_machine(issue_policy="wrr", smt_width=1,
+                                hw_threads_per_core=2)
+        for ptid, weight in ((0, 4), (1, 1)):
+            machine.load_asm(ptid, "loop:\n    addi r1, r1, 1\n    jmp loop",
+                             supervisor=True)
+            machine.core(0).set_priority(ptid, weight)
+            machine.boot(ptid)
+        machine.run(until=20_000)
+        fast = machine.thread(0).instructions_executed
+        slow = machine.thread(1).instructions_executed
+        assert fast / slow == pytest.approx(4.0, rel=0.02)

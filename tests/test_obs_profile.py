@@ -79,7 +79,7 @@ class TestExperimentsSumExactly:
         return [e.experiment_id for e in all_experiments()]
 
     @pytest.mark.parametrize("experiment_id", [
-        f"E{n:02d}" for n in range(1, 18)])
+        f"E{n:02d}" for n in range(1, 19)])
     def test_buckets_sum_to_engine_now(self, experiment_id):
         import repro.obs as obs
         from repro.experiments import get_experiment
@@ -109,6 +109,6 @@ class TestExperimentsSumExactly:
                    for machine in sess.machines
                    for profile in [machine.obs.profiler])
 
-    def test_registry_covers_all_seventeen(self):
+    def test_registry_covers_all_eighteen(self):
         assert self.experiment_ids() == [
-            f"E{n:02d}" for n in range(1, 18)]
+            f"E{n:02d}" for n in range(1, 19)]

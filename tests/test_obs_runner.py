@@ -88,7 +88,7 @@ class TestCliObsVerbs:
                      str(out_dir)]) in (0, 1)
         written = sorted(p.name for p in out_dir.iterdir())
         assert written == [f"E{n:02d}-metrics.json"
-                           for n in range(1, 18)]
+                           for n in range(1, 19)]
         for path in out_dir.iterdir():
             snapshot = json.loads(path.read_text())
             assert "metrics" in snapshot

@@ -1,0 +1,213 @@
+"""Pre-decoded handler chains vs the naive interpreter.
+
+The decode cache (``repro.isa.decode``) claims byte-for-byte behavioral
+identity with instruction-at-a-time interpretation: same architectural
+state, same retirement counts, same busy-cycle accounting, same final
+clock -- with and without the busy-cycle fast-forward stacked on top.
+These tests run the same workload across ``predecode`` on/off (crossed
+with ``fast_forward`` where the interplay matters) and diff everything
+except ``events`` (batching fused runs legitimately drops engine
+events, exactly like the fast-forward).
+"""
+
+import pytest
+
+from repro import build_machine
+
+
+def _strip_events(stats):
+    return {key: value for key, value in stats.items() if key != "events"}
+
+
+def _fingerprint(machine, core_id=0):
+    out = []
+    for thread in machine.core(core_id).threads:
+        if thread.program is None:
+            continue
+        out.append({
+            "ptid": thread.ptid,
+            "state": thread.state.name,
+            "finished": thread.finished,
+            "instructions": thread.instructions_executed,
+            "cycles_busy": thread.cycles_busy,
+            "wakeups": thread.wakeups,
+            "exceptions": thread.exceptions_raised,
+            "pc": thread.arch.pc,
+            "gprs": list(thread.arch.gprs),
+            "flags": thread.arch.flags,
+        })
+    return out
+
+
+def _run_contended(predecode: bool, fast_forward: bool = True):
+    """Contended SMT with fusable ALU runs, a DMA-woken monitor sleeper,
+    and a faulting thread -- the full decoded-dispatch surface."""
+    machine = build_machine(cores=1, hw_threads_per_core=8, smt_width=2,
+                            predecode=predecode, fast_forward=fast_forward)
+    box = machine.alloc("box", 64)
+    edp = machine.alloc("edp", 256)
+    for ptid in range(4):
+        machine.load_asm(ptid, f"""
+            movi r1, 0
+            movi r2, 3
+        loop:
+            movi r4, {5 + ptid}
+            addi r4, r4, 7
+            xor  r5, r4, r1
+            shl  r6, r4, 2
+            work {400 + 97 * ptid}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """, supervisor=True)
+        machine.boot(ptid)
+    machine.load_asm(4, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        ld r2, r1, 0
+        work 300
+        halt
+    """, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(4)
+    machine.load_asm(5, """
+        work 200
+        movi r1, 7
+        movi r2, 0
+        div r3, r1, r2
+        halt
+    """, supervisor=True, edp=edp.base)
+    machine.boot(5)
+    machine.dma.write_word(box.base, 42)
+    machine.run()
+    machine.run(until=machine.engine.now + 100)
+    return machine
+
+
+def _run_multicore(predecode: bool):
+    """Two cores; a cross-core store wakes a sleeper mid-fused-run."""
+    machine = build_machine(cores=2, hw_threads_per_core=4, smt_width=2,
+                            predecode=predecode)
+    box = machine.alloc("box", 64)
+    for ptid in range(3):
+        machine.load_asm(ptid, f"""
+            movi r1, 0
+            movi r2, 2
+        loop:
+            movi r4, {3 + ptid}
+            add  r5, r4, r4
+            sub  r6, r5, r1
+            work {350 + 151 * ptid}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """, core_id=0, supervisor=True)
+        machine.boot(ptid, core_id=0)
+    machine.load_asm(3, """
+        movi r1, BOX
+        monitor r1
+        mwait
+        ld r2, r1, 0
+        halt
+    """, core_id=0, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(3, core_id=0)
+    machine.load_asm(0, """
+        work 900
+        movi r1, BOX
+        movi r2, 99
+        st r1, 0, r2
+        work 400
+        halt
+    """, core_id=1, symbols={"BOX": box.base}, supervisor=True)
+    machine.boot(0, core_id=1)
+    machine.run()
+    return machine
+
+
+def _run_jump_into_run(predecode: bool):
+    """A dynamic jump lands mid-way inside a fusable ALU run: interior
+    indices must execute instruction-at-a-time with identical results."""
+    machine = build_machine(cores=1, hw_threads_per_core=2,
+                            predecode=predecode)
+    machine.load_asm(0, """
+        movi r1, 6       ; jr target: index of 'addi r3, r3, 10' below
+        jr r1
+        movi r2, 1       ; skipped
+        movi r3, 2       ; skipped
+        movi r2, 100     ; run start (skipped by the jump)
+        movi r3, 200
+        addi r3, r3, 10  ; jump lands here, inside the run
+        add  r4, r2, r3
+        halt
+    """, supervisor=True)
+    machine.boot(0)
+    machine.run()
+    return machine
+
+
+def _run_stop_mid_run(predecode: bool):
+    """api_stop lands while a fused run is burning: the rewind must
+    leave pc/registers exactly where naive stepping would."""
+    machine = build_machine(cores=1, hw_threads_per_core=2,
+                            predecode=predecode)
+    machine.load_asm(0, """
+        movi r1, 1
+        addi r1, r1, 1
+        addi r1, r1, 1
+        addi r1, r1, 1
+        addi r1, r1, 1
+        addi r1, r1, 1
+        addi r1, r1, 1
+        halt
+    """, supervisor=True)
+    machine.boot(0)
+    # stop at cycle 3: mid-way through the fused ALU run
+    machine.engine.at(3, machine.core(0).api_stop, 0)
+    machine.run()
+    return machine
+
+
+@pytest.mark.parametrize("fast_forward", [True, False])
+def test_predecode_matches_naive_contended(fast_forward):
+    fast = _run_contended(True, fast_forward)
+    naive = _run_contended(False, fast_forward)
+    assert fast.engine.now == naive.engine.now
+    assert _strip_events(fast.stats()) == _strip_events(naive.stats())
+    assert _fingerprint(fast) == _fingerprint(naive)
+
+
+def test_predecode_matches_naive_multicore():
+    fast = _run_multicore(True)
+    naive = _run_multicore(False)
+    assert fast.engine.now == naive.engine.now
+    assert _strip_events(fast.stats()) == _strip_events(naive.stats())
+    for core_id in (0, 1):
+        assert _fingerprint(fast, core_id) == _fingerprint(naive, core_id)
+
+
+@pytest.mark.parametrize("workload", [_run_jump_into_run,
+                                      _run_stop_mid_run])
+def test_predecode_fusion_edges(workload):
+    fast = workload(True)
+    naive = workload(False)
+    assert fast.engine.now == naive.engine.now
+    assert _fingerprint(fast) == _fingerprint(naive)
+
+
+def test_env_var_forces_naive(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_PREDECODE", "1")
+    machine = build_machine(predecode=True)
+    assert not machine.core(0).predecode_enabled
+
+
+def test_config_disables_predecode():
+    machine = build_machine(predecode=False)
+    assert not machine.core(0).predecode_enabled
+    assert build_machine().core(0).predecode_enabled
+
+
+def test_tracer_forces_naive():
+    # the decoded path skips per-instruction trace emits, so an enabled
+    # tracer must fall back to the naive interpreter
+    machine = build_machine(trace=True, predecode=True)
+    assert not machine.core(0).predecode_enabled
